@@ -1,0 +1,65 @@
+//! α-compression metrics (Theorems 13 and 15).
+
+use sops_core::{construct, Configuration};
+
+/// The compression ratio `p(σ) / p_min(n)`.
+///
+/// `p_min(n)` is the exact minimum perimeter from
+/// [`sops_core::construct::min_perimeter`]; a ratio of 1.0 means the
+/// configuration is as tight as a hexagon.
+///
+/// # Panics
+///
+/// Panics for `n = 1` or `n = 2` where `p_min` can be 0 (the ratio is
+/// meaningless there — the paper's asymptotic statements assume large `n`).
+#[must_use]
+pub fn alpha_ratio(config: &Configuration) -> f64 {
+    let pmin = construct::min_perimeter(config.len());
+    assert!(pmin > 0, "alpha ratio undefined for n ≤ 1 (p_min = 0)");
+    config.perimeter() as f64 / pmin as f64
+}
+
+/// Whether `σ` is α-compressed: `p(σ) ≤ α · p_min(n)`.
+///
+/// # Example
+///
+/// ```
+/// use sops_analysis::is_alpha_compressed;
+/// use sops_core::construct;
+///
+/// let hex = construct::hexagonal_bicolored(37, 18)?;
+/// assert!(is_alpha_compressed(&hex, 1.0)); // spirals are perimeter-minimal
+/// let line = construct::line_monochromatic(37)?;
+/// assert!(!is_alpha_compressed(&line, 2.0)); // lines are maximally spread
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn is_alpha_compressed(config: &Configuration, alpha: f64) -> bool {
+    alpha_ratio(config) <= alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hexagon_has_ratio_one() {
+        let hex = construct::hexagonal_bicolored(19, 9).unwrap();
+        assert!((alpha_ratio(&hex) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_ratio_grows_with_n() {
+        // Line perimeter 2n − 2 vs p_min ≈ √12·√n: ratio grows like √n.
+        let r20 = alpha_ratio(&construct::line_monochromatic(20).unwrap());
+        let r80 = alpha_ratio(&construct::line_monochromatic(80).unwrap());
+        assert!(r80 > 1.5 * r20);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn tiny_systems_panic() {
+        let single = construct::line_monochromatic(1).unwrap();
+        let _ = alpha_ratio(&single);
+    }
+}

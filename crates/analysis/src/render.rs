@@ -1,0 +1,186 @@
+//! Plain-text and SVG renderers for configurations.
+//!
+//! The paper's Figures 2 and 3 are snapshots of particle systems; the
+//! benchmark harness regenerates them as SVG files and prints ASCII
+//! thumbnails to the terminal.
+
+use std::fmt::Write as _;
+
+use sops_core::Configuration;
+
+/// Characters used for color classes 0–7 in ASCII renderings.
+const GLYPHS: [char; 8] = ['o', 'x', '*', '+', '#', '@', '%', '&'];
+
+/// SVG fill colors for color classes 0–7.
+const FILLS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+/// Renders the configuration as ASCII art, one lattice row per line with
+/// the half-cell stagger of the triangular lattice.
+///
+/// `c₁` particles print as `o`, `c₂` as `x` (further classes `*`, `+`, …);
+/// unoccupied in-box nodes print as `·`.
+///
+/// # Example
+///
+/// ```
+/// use sops_core::{Color, Configuration};
+/// use sops_lattice::Node;
+///
+/// let config = Configuration::new([
+///     (Node::new(0, 0), Color::C1),
+///     (Node::new(1, 0), Color::C2),
+/// ])?;
+/// let art = sops_analysis::render::ascii(&config);
+/// assert!(art.contains('o') && art.contains('x'));
+/// # Ok::<(), sops_core::ConfigError>(())
+/// ```
+#[must_use]
+pub fn ascii(config: &Configuration) -> String {
+    let (min_x, max_x, min_y, max_y) = config.bounding_box();
+    let mut out = String::new();
+    // Rows top (max y) to bottom; stagger each row by y relative to the top
+    // so the hex geometry reads correctly in a fixed-width font.
+    for y in (min_y..=max_y).rev() {
+        let indent = (y - min_y) as usize;
+        for _ in 0..indent {
+            out.push(' ');
+        }
+        for x in min_x..=max_x {
+            match config.color_at(sops_lattice::Node::new(x, y)) {
+                Some(c) => out.push(GLYPHS[(c.index() as usize) % GLYPHS.len()]),
+                None => out.push('·'),
+            }
+            out.push(' ');
+        }
+        // Trim trailing spaces for clean diffs.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the configuration as a standalone SVG document with particles as
+/// colored circles and configuration edges as line segments.
+#[must_use]
+pub fn svg(config: &Configuration) -> String {
+    const SCALE: f64 = 24.0;
+    const RADIUS: f64 = 9.0;
+    const MARGIN: f64 = 16.0;
+
+    // Cartesian bounds.
+    let mut min = (f64::INFINITY, f64::INFINITY);
+    let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for (node, _) in config.particles() {
+        let (x, y) = node.to_cartesian();
+        min.0 = min.0.min(x);
+        min.1 = min.1.min(y);
+        max.0 = max.0.max(x);
+        max.1 = max.1.max(y);
+    }
+    let width = (max.0 - min.0) * SCALE + 2.0 * MARGIN;
+    let height = (max.1 - min.1) * SCALE + 2.0 * MARGIN;
+    let tx = |x: f64| (x - min.0) * SCALE + MARGIN;
+    // SVG y-axis points down; lattice y points up.
+    let ty = |y: f64| height - ((y - min.1) * SCALE + MARGIN);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect width="100%" height="100%" fill="#ffffff"/>"##
+    );
+    // Edges beneath particles.
+    for (node, _) in config.particles() {
+        for d in sops_lattice::DIRECTIONS {
+            let m = node.neighbor(d);
+            if config.is_occupied(m) && node < m {
+                let (ax, ay) = node.to_cartesian();
+                let (bx, by) = m.to_cartesian();
+                let _ = writeln!(
+                    out,
+                    r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#bbbbbb" stroke-width="2"/>"##,
+                    tx(ax),
+                    ty(ay),
+                    tx(bx),
+                    ty(by)
+                );
+            }
+        }
+    }
+    for (node, color) in config.particles() {
+        let (x, y) = node.to_cartesian();
+        let fill = FILLS[(color.index() as usize) % FILLS.len()];
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{:.1}" cy="{:.1}" r="{RADIUS}" fill="{fill}" stroke="#333333"/>"##,
+            tx(x),
+            ty(y)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_core::{construct, Color, Configuration};
+    use sops_lattice::Node;
+
+    #[test]
+    fn ascii_has_one_line_per_row_plus_stagger() {
+        let config = Configuration::new([
+            (Node::new(0, 0), Color::C1),
+            (Node::new(0, 1), Color::C2),
+            (Node::new(1, 0), Color::C1),
+        ])
+        .unwrap();
+        let art = ascii(&config);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Top row (y = 1) is indented by one stagger space.
+        assert!(lines[0].starts_with(' '));
+        assert!(lines[1].starts_with('o'));
+    }
+
+    #[test]
+    fn ascii_glyph_per_color() {
+        let config = Configuration::new([
+            (Node::new(0, 0), Color::C1),
+            (Node::new(1, 0), Color::C2),
+            (Node::new(2, 0), Color::C3),
+        ])
+        .unwrap();
+        let art = ascii(&config);
+        for glyph in ['o', 'x', '*'] {
+            assert!(art.contains(glyph), "missing {glyph}");
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let config = construct::hexagonal_bicolored(19, 9).unwrap();
+        let doc = svg(&config);
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert_eq!(doc.matches("<circle").count(), 19);
+        // e(σ) edges drawn once each.
+        assert_eq!(doc.matches("<line").count() as u64, config.edge_count());
+        assert!(doc.contains(FILLS[0]) && doc.contains(FILLS[1]));
+    }
+
+    #[test]
+    fn svg_of_single_particle() {
+        let config = Configuration::new([(Node::new(5, 5), Color::C1)]).unwrap();
+        let doc = svg(&config);
+        assert_eq!(doc.matches("<circle").count(), 1);
+        assert_eq!(doc.matches("<line").count(), 0);
+    }
+}

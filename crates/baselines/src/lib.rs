@@ -1,0 +1,25 @@
+//! Baseline models the paper positions itself against (§1).
+//!
+//! The separation algorithm is motivated by — and contrasted with — two
+//! classical stochastic models of self-organized segregation:
+//!
+//! * the **Schelling model** ([`schelling`]): agents of two types on a
+//!   grid with vacancies, moving when the same-type fraction of their
+//!   neighborhood falls below a tolerance threshold;
+//! * **Ising Glauber dynamics** ([`glauber`]): ±1 spins on a *fixed*
+//!   triangular region flipping with heat-bath probabilities. The paper's
+//!   chain `M` "acts like an Ising model, but on a graph that evolves as
+//!   particles move"; running Glauber on the frozen graph isolates exactly
+//!   what the particle motion adds.
+//!
+//! The third baseline the paper generalizes — the PODC '16 **compression**
+//! chain — is the `γ = 1` case of the main algorithm and lives in
+//! [`sops_core::CompressionChain`] (re-exported here for discoverability).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod glauber;
+pub mod schelling;
+
+pub use sops_core::CompressionChain;

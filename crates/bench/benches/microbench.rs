@@ -1,0 +1,214 @@
+//! Criterion micro-benchmarks over every performance-relevant code path:
+//! chain steps, property checks, observables, separation certificates,
+//! enumeration, polymer partition functions, and the distributed layer.
+//!
+//! Each group also exercises the corresponding experiment path end-to-end
+//! at reduced size, so `cargo bench` touches every figure's machinery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sops_amoebot::AmoebotSystem;
+use sops_analysis::{is_separated, separation_profile};
+use sops_chains::MarkovChain;
+use sops_core::{construct, enumerate, properties, Bias, Color, Configuration, SeparationChain};
+use sops_lattice::region::Region;
+use sops_lattice::{Edge, Node, DIRECTIONS};
+use sops_polymer::partition::even_partition_function;
+use sops_polymer::{CutLoopModel, EvenSubgraphModel};
+
+fn seeded_config(n: usize) -> Configuration {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let nodes = construct::hexagonal_spiral(n);
+    Configuration::new(construct::bicolor_random(nodes, n / 2, &mut rng)).unwrap()
+}
+
+fn bench_chain_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_step");
+    for n in [25usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::new("with_swaps", n), &n, |b, &n| {
+            let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+            let mut config = seeded_config(n);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(chain.step(&mut config, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("without_swaps", n), &n, |b, &n| {
+            let chain = SeparationChain::without_swaps(Bias::new(4.0, 4.0).unwrap());
+            let mut config = seeded_config(n);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(chain.step(&mut config, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_properties(c: &mut Criterion) {
+    let config = seeded_config(100);
+    c.bench_function("property_check_all_moves_n100", |b| {
+        b.iter(|| {
+            let mut allowed = 0u32;
+            for i in 0..config.len() {
+                let from = config.position_of(i);
+                for d in DIRECTIONS {
+                    if !config.is_occupied(from.neighbor(d))
+                        && properties::movement_allowed(&config, from, d)
+                    {
+                        allowed += 1;
+                    }
+                }
+            }
+            black_box(allowed)
+        });
+    });
+}
+
+fn bench_observables(c: &mut Criterion) {
+    let config = seeded_config(100);
+    c.bench_function("boundary_walk_n100", |b| {
+        b.iter(|| black_box(config.boundary_walk_length()));
+    });
+    c.bench_function("recount_edges_n100", |b| {
+        b.iter(|| black_box(config.recount()));
+    });
+    c.bench_function("hole_count_n100", |b| {
+        b.iter(|| black_box(config.hole_count()));
+    });
+}
+
+fn bench_separation_certificate(c: &mut Criterion) {
+    // A partially separated configuration: the interesting (non-trivial
+    // cut) case for the flow solver.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut config = seeded_config(100);
+    let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+    chain.run(&mut config, 500_000, &mut rng);
+    c.bench_function("separation_certificate_n100", |b| {
+        b.iter(|| black_box(is_separated(&config, 4.0, 0.2)));
+    });
+    c.bench_function("separation_profile_n100", |b| {
+        b.iter(|| black_box(separation_profile(&config, Color::C1).len()));
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    c.bench_function("enumerate_shapes_n6", |b| {
+        b.iter(|| black_box(enumerate::shapes(6).len()));
+    });
+    c.bench_function("enumerate_hole_free_n6", |b| {
+        b.iter(|| black_box(enumerate::hole_free_shapes(6).len()));
+    });
+}
+
+fn bench_polymer(c: &mut Criterion) {
+    c.bench_function("even_partition_hexagon1", |b| {
+        b.iter(|| black_box(even_partition_function(&Region::hexagon(1), 1.0 / 80.0)));
+    });
+    let model = CutLoopModel::new(6.0);
+    let edge = Edge::new(Node::new(0, 0), Node::new(1, 0));
+    c.bench_function("cut_loops_through_edge_s3", |b| {
+        b.iter(|| black_box(model.polymers_cutting(edge, 3).len()));
+    });
+    let even = EvenSubgraphModel::new(0.0125);
+    c.bench_function("cycles_through_edge_len6", |b| {
+        b.iter(|| black_box(even.cycles_through(edge, 6).len()));
+    });
+}
+
+fn bench_node_map_vs_std(c: &mut Criterion) {
+    // The design rationale for the custom open-addressing map: neighborhood
+    // probes dominate the chain's hot path.
+    let config = seeded_config(400);
+    let nodes: Vec<Node> = config.particles().map(|(n, _)| n).collect();
+    let std_map: std::collections::HashMap<Node, u8> =
+        config.particles().map(|(n, c)| (n, c.index())).collect();
+
+    c.bench_function("probe_6_neighbors_nodemap_n400", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &n in &nodes {
+                for d in DIRECTIONS {
+                    hits += u32::from(config.is_occupied(n.neighbor(d)));
+                }
+            }
+            black_box(hits)
+        });
+    });
+    c.bench_function("probe_6_neighbors_stdhashmap_n400", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &n in &nodes {
+                for d in DIRECTIONS {
+                    hits += u32::from(std_map.contains_key(&n.neighbor(d)));
+                }
+            }
+            black_box(hits)
+        });
+    });
+}
+
+fn bench_amoebot(c: &mut Criterion) {
+    c.bench_function("amoebot_activation_n100", |b| {
+        b.iter_batched(
+            || {
+                let config = seeded_config(100);
+                (
+                    AmoebotSystem::new(&config, Bias::new(4.0, 4.0).unwrap(), true),
+                    StdRng::seed_from_u64(4),
+                )
+            },
+            |(mut sys, mut rng)| {
+                for _ in 0..1000 {
+                    black_box(sys.activate_random(&mut rng));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_figures_reduced(c: &mut Criterion) {
+    // End-to-end reduced renditions of the figure pipelines, so `cargo
+    // bench` exercises every experiment path.
+    c.bench_function("fig2_pipeline_reduced", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            let nodes = construct::random_blob(40, &mut rng);
+            let mut config =
+                Configuration::new(construct::bicolor_random(nodes, 20, &mut rng)).unwrap();
+            let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+            chain.run(&mut config, 50_000, &mut rng);
+            black_box((
+                config.perimeter(),
+                config.hetero_edge_count(),
+                is_separated(&config, 4.0, 0.2).is_some(),
+            ))
+        });
+    });
+    c.bench_function("lemma9_pipeline_exact_n3", |b| {
+        b.iter(|| {
+            let chain = SeparationChain::new(Bias::new(2.0, 3.0).unwrap());
+            let exact = enumerate::ExactSeparationChain::new(chain, 3, 1);
+            let matrix = sops_chains::TransitionMatrix::build(&exact);
+            let pi = exact.lemma9_distribution(matrix.states());
+            black_box(matrix.detailed_balance_violation(&pi))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_chain_step,
+        bench_properties,
+        bench_observables,
+        bench_separation_certificate,
+        bench_enumeration,
+        bench_polymer,
+        bench_node_map_vs_std,
+        bench_amoebot,
+        bench_figures_reduced,
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! §3's distributed translation, quantified: how close is the
+//! asynchronous amoebot execution's snapshot distribution to Lemma 9's π?
+//!
+//! The serialized jump chain is exact by construction; asynchronous
+//! *snapshots* additionally weight each configuration by its expansion
+//! dwell time. This experiment measures that gap on exhaustively
+//! enumerable spaces, for both schedulers.
+
+use sops_amoebot::schedule::{Scheduler, ShuffledRoundRobin, UniformScheduler};
+use sops_amoebot::AmoebotSystem;
+use sops_bench::{seeded, Table};
+use sops_chains::stats::EmpiricalDistribution;
+use sops_chains::TransitionMatrix;
+use sops_core::enumerate::ExactSeparationChain;
+use sops_core::{construct, Bias, CanonicalForm, SeparationChain};
+
+const ACTIVATIONS_PER_SAMPLE: u64 = 20;
+const SAMPLES: u64 = 150_000;
+
+fn measure(scheduler_name: &str, bias: Bias, n: usize, n1: usize) -> (usize, f64) {
+    let chain = SeparationChain::new(bias);
+    let exact = ExactSeparationChain::new(chain, n, n1);
+    let matrix = TransitionMatrix::build(&exact);
+    let pi = exact.lemma9_distribution(matrix.states());
+
+    let seed_config = construct::hexagonal_bicolored(n, n1).expect("valid");
+    let mut system = AmoebotSystem::new(&seed_config, bias, true);
+    let mut rng = seeded("amoebot-fidelity", (n as u64) << 8 | n1 as u64);
+    let mut empirical: EmpiricalDistribution<CanonicalForm> = EmpiricalDistribution::new();
+
+    let mut uniform = UniformScheduler;
+    let mut round_robin = ShuffledRoundRobin::default();
+    // Burn in.
+    for _ in 0..50_000 {
+        match scheduler_name {
+            "uniform" => uniform.run(&mut system, 1, &mut rng),
+            _ => round_robin.run(&mut system, 1, &mut rng),
+        };
+    }
+    for _ in 0..SAMPLES {
+        match scheduler_name {
+            "uniform" => uniform.run(&mut system, ACTIVATIONS_PER_SAMPLE, &mut rng),
+            _ => round_robin.run(&mut system, ACTIVATIONS_PER_SAMPLE, &mut rng),
+        };
+        empirical.record(system.serialized_configuration().canonical_form());
+    }
+    let tv = empirical.total_variation_to(matrix.states().iter().zip(pi.iter().copied()));
+    (matrix.len(), tv)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "Amoebot snapshot fidelity: TV(asynchronous snapshots, Lemma 9's π)\n\
+         over {SAMPLES} samples, {ACTIVATIONS_PER_SAMPLE} activations apart\n"
+    );
+    let mut table = Table::new(["scheduler", "n", "n1", "lambda", "gamma", "states", "TV"]);
+    for &(lambda, gamma) in &[(2.0, 2.0), (3.0, 1.0)] {
+        for scheduler in ["uniform", "round-robin"] {
+            let bias = Bias::new(lambda, gamma)?;
+            let (states, tv) = measure(scheduler, bias, 3, 1);
+            table.row([
+                scheduler.to_string(),
+                "3".to_string(),
+                "1".to_string(),
+                format!("{lambda}"),
+                format!("{gamma}"),
+                format!("{states}"),
+                format!("{tv:.4}"),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nexpected shape: TV ≈ 0.03–0.08 — small but nonzero; the residual is\n\
+         the expansion-dwell reweighting of asynchronous time (the serialized\n\
+         jump chain itself realizes M exactly; see sops-amoebot docs)."
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Bridging-flavored interface statistics (Theorem 14's machinery): how
+//! the structure of the interface between the two color classes changes
+//! with γ at fixed large λ. Separation shows up as a single coherent
+//! interface with O(1) boundary crossings; integration as a shattered
+//! interface crossing the boundary Θ(√n) times.
+
+use sops_analysis::interface;
+use sops_bench::{parallel_map, seeded, Table};
+use sops_chains::MarkovChain;
+use sops_core::{construct, Bias, Configuration, SeparationChain};
+
+const N: usize = 100;
+const BURN_IN: u64 = 10_000_000;
+const SAMPLES: usize = 50;
+const SAMPLE_GAP: u64 = 100_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gammas: Vec<f64> = vec![1.0, 1.5, 2.0, 4.0, 6.0];
+    let rows = parallel_map(gammas, |gamma| {
+        let mut rng = seeded("interface", gamma.to_bits());
+        let nodes = construct::hexagonal_spiral(N);
+        let mut config = Configuration::new(construct::bicolor_random(nodes, N / 2, &mut rng))
+            .expect("valid seed");
+        let chain = SeparationChain::new(Bias::new(4.0, gamma).expect("valid bias"));
+        chain.run(&mut config, BURN_IN, &mut rng);
+        let mut len = 0.0;
+        let mut comps = 0.0;
+        let mut coherence = 0.0;
+        let mut crossings = 0.0;
+        for _ in 0..SAMPLES {
+            chain.run(&mut config, SAMPLE_GAP, &mut rng);
+            let s = interface::summarize(&config);
+            len += s.total_length as f64;
+            comps += s.components as f64;
+            coherence += s.coherence;
+            crossings += s.boundary_crossings as f64;
+        }
+        let k = SAMPLES as f64;
+        (gamma, len / k, comps / k, coherence / k, crossings / k)
+    });
+
+    println!(
+        "Interface structure vs γ (n = {N}, λ = 4, {SAMPLES} samples after {BURN_IN} burn-in)\n"
+    );
+    let mut table = Table::new([
+        "gamma",
+        "mean interface length h",
+        "mean #components",
+        "mean coherence",
+        "mean boundary crossings",
+    ]);
+    for (gamma, len, comps, coherence, crossings) in rows {
+        table.row([
+            format!("{gamma}"),
+            format!("{len:.1}"),
+            format!("{comps:.1}"),
+            format!("{coherence:.2}"),
+            format!("{crossings:.1}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nexpected shape: as γ grows the interface shortens, coalesces toward\n\
+         one coherent component, and crosses the outer boundary ~2 times —\n\
+         the geometry Theorem 14's bridging argument controls."
+    );
+    Ok(())
+}

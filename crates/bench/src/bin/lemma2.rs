@@ -1,0 +1,60 @@
+//! Lemma 2 / Figure 4: the hexagonal-spiral construction achieves
+//! perimeter ≤ 2√3·√n for every n (and exactly `p_min(n)`).
+
+use sops_analysis::render;
+use sops_bench::Table;
+use sops_core::{construct, Color, Configuration};
+
+fn main() {
+    println!("Lemma 2: p_min(n) ≤ 2√3·√n via the hexagonal spiral\n");
+    let mut table = Table::new(["n", "spiral perimeter", "p_min(n)", "2√3·√n", "slack"]);
+    let bound = |n: usize| 2.0 * 3.0_f64.sqrt() * (n as f64).sqrt();
+
+    let mut worst_ratio = 0.0f64;
+    for exp in 0..=13u32 {
+        let n = (10usize << exp).min(100_000); // 10 … 81,920
+        let config = Configuration::new(
+            construct::hexagonal_spiral(n)
+                .into_iter()
+                .map(|nd| (nd, Color::C1)),
+        )
+        .expect("spiral nodes are distinct");
+        let p = config.perimeter();
+        assert_eq!(p, construct::min_perimeter(n), "spiral must be optimal");
+        let b = bound(n);
+        worst_ratio = worst_ratio.max(p as f64 / b);
+        table.row([
+            format!("{n}"),
+            format!("{p}"),
+            format!("{}", construct::min_perimeter(n)),
+            format!("{b:.1}"),
+            format!("{:.1}", b - p as f64),
+        ]);
+    }
+    table.print();
+    println!("\nworst p/(2√3·√n) over the sweep: {worst_ratio:.4} (Lemma 2 requires ≤ 1)");
+    assert!(worst_ratio <= 1.0);
+
+    // Figure 4: the ℓ = 3 hexagon and the ℓ = 3, k = 6 construction.
+    let hex37 = Configuration::new(
+        construct::hexagonal_spiral(37)
+            .into_iter()
+            .map(|nd| (nd, Color::C1)),
+    )
+    .expect("valid");
+    let hex43 = Configuration::new(
+        construct::hexagonal_spiral(43)
+            .into_iter()
+            .map(|nd| (nd, Color::C1)),
+    )
+    .expect("valid");
+    sops_bench::save("fig4a_hexagon37.svg", &render::svg(&hex37));
+    sops_bench::save("fig4b_hexagon43.svg", &render::svg(&hex43));
+    println!(
+        "Figure 4: hexagon ℓ=3 (37 particles, p = {}), plus k = 6 extras (43 particles, p = {})",
+        hex37.perimeter(),
+        hex43.perimeter()
+    );
+    assert_eq!(hex37.perimeter(), 18);
+    assert_eq!(hex43.perimeter(), 20); // the paper's Figure 4b: perimeter 20
+}

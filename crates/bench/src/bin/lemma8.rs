@@ -1,0 +1,66 @@
+//! Lemma 8 (ergodicity), constructively: build explicit move sequences
+//! transforming configurations into the sorted straight line, verify every
+//! step against the chain's own movement conditions, and report witness
+//! lengths (an upper bound on the state-space diameter).
+
+use sops_bench::{seeded, Table};
+use sops_core::{construct, enumerate, reconfigure, Color, Configuration};
+
+fn main() {
+    // Exhaustive witnesses for all small systems.
+    println!("Lemma 8 witnesses, exhaustive over all configurations:\n");
+    let mut t1 = Table::new(["n", "configurations", "max witness length", "mean length"]);
+    for n in 2..=7usize {
+        let shapes = enumerate::hole_free_shapes(n);
+        let mut max_len = 0usize;
+        let mut total = 0usize;
+        let count = shapes.len();
+        for shape in shapes {
+            let config = Configuration::new(shape.into_iter().map(|nd| (nd, Color::C1))).unwrap();
+            let steps = reconfigure::line_witness(&config).expect("witness exists");
+            let mut work = config.clone();
+            reconfigure::apply(&mut work, &steps); // validates every step
+            max_len = max_len.max(steps.len());
+            total += steps.len();
+        }
+        t1.row([
+            format!("{n}"),
+            format!("{count}"),
+            format!("{max_len}"),
+            format!("{:.1}", total as f64 / count as f64),
+        ]);
+    }
+    t1.print();
+
+    // Randomized witnesses for larger bicolored systems.
+    println!("\nRandomized bicolored witnesses (hexagonal seeds):\n");
+    let mut t2 = Table::new(["n", "witness length", "moves", "swaps"]);
+    for n in [20usize, 40, 80] {
+        let mut rng = seeded("lemma8", n as u64);
+        let config = Configuration::new(construct::bicolor_random(
+            construct::hexagonal_spiral(n),
+            n / 2,
+            &mut rng,
+        ))
+        .unwrap();
+        let steps = reconfigure::line_witness(&config).expect("witness exists");
+        let mut work = config.clone();
+        reconfigure::apply(&mut work, &steps);
+        let moves = steps
+            .iter()
+            .filter(|s| matches!(s, reconfigure::Step::Move { .. }))
+            .count();
+        t2.row([
+            format!("{n}"),
+            format!("{}", steps.len()),
+            format!("{moves}"),
+            format!("{}", steps.len() - moves),
+        ]);
+    }
+    t2.print();
+    println!(
+        "\nevery step re-verified against Properties 4/5 and the e ≠ 5\n\
+         condition: the chain's moves suffice to reach the sorted line from\n\
+         any connected hole-free configuration, witnessing irreducibility."
+    );
+}

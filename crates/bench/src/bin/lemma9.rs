@@ -1,0 +1,74 @@
+//! Lemma 9: the stationary distribution of `M` is
+//! `π(σ) ∝ (λγ)^{−p(σ)} γ^{−h(σ)}`. On exhaustively enumerated state
+//! spaces we verify detailed balance exactly and measure the total-
+//! variation distance between long simulation runs and π; we also report
+//! the exact mixing time `t_mix(1/4)` (the paper proves no mixing-time
+//! bounds — on toy spaces we can simply measure it).
+
+use sops_bench::{seeded, Table};
+use sops_chains::stats::EmpiricalDistribution;
+use sops_chains::{MarkovChain, TransitionMatrix};
+use sops_core::enumerate::ExactSeparationChain;
+use sops_core::{construct, Bias, CanonicalForm, SeparationChain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Lemma 9: exact detailed balance + sampling agreement\n");
+    let mut table = Table::new([
+        "n",
+        "n1",
+        "lambda",
+        "gamma",
+        "states",
+        "DB residual",
+        "TV(sim, π)",
+        "t_mix(1/4)",
+    ]);
+
+    for &(n, n1, lambda, gamma) in &[
+        (3usize, 1usize, 2.0f64, 3.0f64),
+        (3, 1, 4.0, 0.8),
+        (3, 1, 1.0, 1.0),
+        (4, 2, 2.5, 2.0),
+        (4, 1, 3.0, 1.2),
+    ] {
+        let bias = Bias::new(lambda, gamma)?;
+        let chain = SeparationChain::new(bias);
+        let exact = ExactSeparationChain::new(chain, n, n1);
+        let matrix = TransitionMatrix::build(&exact);
+        assert!(matrix.is_irreducible() && matrix.is_aperiodic(), "Lemma 8");
+        let pi = exact.lemma9_distribution(matrix.states());
+        let db = matrix.detailed_balance_violation(&pi);
+
+        // Sampling run.
+        let mut rng = seeded("lemma9", (n as u64) << 32 | n1 as u64);
+        let mut config = construct::hexagonal_bicolored(n, n1)?;
+        let mut empirical: EmpiricalDistribution<CanonicalForm> = EmpiricalDistribution::new();
+        chain.run(&mut config, 20_000, &mut rng);
+        for _ in 0..80_000 {
+            chain.run(&mut config, 25, &mut rng);
+            empirical.record(config.canonical_form());
+        }
+        let tv = empirical.total_variation_to(matrix.states().iter().zip(pi.iter().copied()));
+
+        let t_mix = matrix
+            .mixing_time(&pi, 0.25, 1_000_000)
+            .map_or_else(|| ">1e6".to_string(), |t| t.to_string());
+
+        table.row([
+            format!("{n}"),
+            format!("{n1}"),
+            format!("{lambda}"),
+            format!("{gamma}"),
+            format!("{}", matrix.len()),
+            format!("{db:.2e}"),
+            format!("{tv:.4}"),
+            t_mix,
+        ]);
+    }
+    table.print();
+    println!(
+        "\nDB residual ≈ machine epsilon certifies π exactly (Lemma 9);\n\
+         TV ≲ 0.02 shows the sampler realizes it."
+    );
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one figure or quantitative claim
+//! of the paper (see DESIGN.md's experiment index and EXPERIMENTS.md for
+//! recorded results). This library provides the common pieces: fixed-width
+//! table printing, an output directory for SVG snapshots, seeded RNG
+//! construction, and a parallel parameter-sweep helper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fixed-width text table, printed to stdout and embeddable in
+/// EXPERIMENTS.md as-is.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row/header arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// The experiment output directory (`results/` under the workspace root),
+/// created on first use.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn out_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    std::fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench → workspace root is two levels up from this crate.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("bench crate lives at <root>/crates/bench")
+        .to_path_buf()
+}
+
+/// Saves experiment output (e.g. an SVG snapshot) under `results/`.
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn save(name: &str, content: &str) {
+    let path = out_dir().join(name);
+    std::fs::write(&path, content).expect("cannot write experiment output");
+    println!("  saved {}", path.display());
+}
+
+/// A deterministic RNG for experiment `label` with the given replicate id.
+#[must_use]
+pub fn seeded(label: &str, replicate: u64) -> StdRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ replicate)
+}
+
+/// Maps `jobs` through `work` using one scoped thread per job (bounded by
+/// `crossbeam`'s scope), preserving order. On single-core machines this
+/// degrades gracefully to sequential execution speed.
+pub fn parallel_map<T, R, F>(jobs: Vec<T>, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(work).collect();
+    }
+    let n = jobs.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let work = &work;
+        let mut handles = Vec::new();
+        for (i, job) in jobs.into_iter().enumerate() {
+            handles.push(scope.spawn(move |_| (i, work(job))));
+        }
+        for h in handles {
+            let (i, r) = h.join().expect("worker panicked");
+            slots[i] = Some(r);
+        }
+    })
+    .expect("scope panicked");
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["n", "perimeter"]);
+        t.row(["3", "3"]);
+        t.row(["100", "38"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("perimeter"));
+        assert!(lines[3].ends_with("38"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic_per_label() {
+        use rand::RngExt as _;
+        let a: u64 = seeded("x", 0).random();
+        let b: u64 = seeded("x", 0).random();
+        let c: u64 = seeded("y", 0).random();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..20).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..20).map(|x| x * x).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,190 @@
+//! The simulable-chain trait and trajectory recording.
+
+use rand::Rng;
+
+/// A discrete-time Markov chain that can be simulated in place.
+///
+/// Implementors mutate a state by one transition per [`MarkovChain::step`]
+/// call. The chain object itself holds only parameters (it is the transition
+/// *kernel*); the state travels separately so callers control allocation and
+/// can snapshot cheaply.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, RngExt as _, SeedableRng};
+/// use sops_chains::MarkovChain;
+///
+/// /// Lazy random walk on ℤ mod 10.
+/// struct Walk;
+/// impl MarkovChain for Walk {
+///     type State = u8;
+///     fn step<R: rand::Rng + ?Sized>(&self, s: &mut u8, rng: &mut R) -> bool {
+///         match rng.random_range(0..3u8) {
+///             0 => { *s = (*s + 1) % 10; true }
+///             1 => { *s = (*s + 9) % 10; true }
+///             _ => false,
+///         }
+///     }
+/// }
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut s = 0u8;
+/// Walk.run(&mut s, 1000, &mut rng);
+/// assert!(s < 10);
+/// ```
+pub trait MarkovChain {
+    /// The chain's state type.
+    type State;
+
+    /// Performs one transition of the chain on `state`.
+    ///
+    /// Returns `true` when the state actually changed (the proposal was
+    /// accepted), `false` on a hold step. Callers that only care about the
+    /// long-run distribution may ignore the return value; the experiment
+    /// harness uses it to report acceptance rates.
+    fn step<R: Rng + ?Sized>(&self, state: &mut Self::State, rng: &mut R) -> bool;
+
+    /// Runs `steps` transitions, returning how many were accepted.
+    fn run<R: Rng + ?Sized>(&self, state: &mut Self::State, steps: u64, rng: &mut R) -> u64 {
+        let mut accepted = 0;
+        for _ in 0..steps {
+            if self.step(state, rng) {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    /// Runs the chain while recording an observable every `every` steps
+    /// (including one sample of the initial state at time 0).
+    fn trajectory<R, F, T>(
+        &self,
+        state: &mut Self::State,
+        steps: u64,
+        every: u64,
+        rng: &mut R,
+        mut observe: F,
+    ) -> Trajectory<T>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&Self::State) -> T,
+    {
+        assert!(every > 0, "sampling interval must be positive");
+        let mut samples = vec![(0, observe(state))];
+        let mut accepted = 0;
+        let mut t = 0;
+        while t < steps {
+            let burst = every.min(steps - t);
+            accepted += self.run(state, burst, rng);
+            t += burst;
+            samples.push((t, observe(state)));
+        }
+        Trajectory {
+            samples,
+            steps,
+            accepted,
+        }
+    }
+}
+
+/// A recorded trajectory of observable samples from a chain run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory<T> {
+    /// `(time, observable)` samples; the first entry is always time 0.
+    pub samples: Vec<(u64, T)>,
+    /// Total number of steps run.
+    pub steps: u64,
+    /// Number of accepted (state-changing) steps.
+    pub accepted: u64,
+}
+
+impl<T> Trajectory<T> {
+    /// Fraction of steps that changed the state.
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.steps as f64
+        }
+    }
+
+    /// The final sample.
+    #[must_use]
+    pub fn last(&self) -> &T {
+        &self
+            .samples
+            .last()
+            .expect("trajectory always holds the time-0 sample")
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    struct Cycle(u32);
+
+    impl MarkovChain for Cycle {
+        type State = u32;
+        fn step<R: Rng + ?Sized>(&self, s: &mut u32, rng: &mut R) -> bool {
+            if rng.random_range(0..2) == 0 {
+                *s = (*s + 1) % self.0;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn run_counts_accepted_steps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = 0;
+        let acc = Cycle(5).run(&mut s, 10_000, &mut rng);
+        // Lazy step accepts with probability 1/2.
+        assert!((4_000..6_000).contains(&acc), "accepted {acc}");
+    }
+
+    #[test]
+    fn trajectory_samples_at_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = 0;
+        let tr = Cycle(7).trajectory(&mut s, 100, 10, &mut rng, |s| *s);
+        assert_eq!(tr.samples.len(), 11);
+        assert_eq!(tr.samples[0].0, 0);
+        assert_eq!(tr.samples[10].0, 100);
+        assert_eq!(*tr.last(), s);
+        assert!(tr.acceptance_rate() > 0.0 && tr.acceptance_rate() < 1.0);
+    }
+
+    #[test]
+    fn trajectory_handles_uneven_final_burst() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = 0;
+        let tr = Cycle(7).trajectory(&mut s, 25, 10, &mut rng, |s| *s);
+        let times: Vec<u64> = tr.samples.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![0, 10, 20, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling interval")]
+    fn zero_interval_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = 0;
+        let _ = Cycle(7).trajectory(&mut s, 10, 0, &mut rng, |s| *s);
+    }
+
+    #[test]
+    fn zero_steps_trajectory_has_initial_sample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = 3;
+        let tr = Cycle(7).trajectory(&mut s, 0, 10, &mut rng, |s| *s);
+        assert_eq!(tr.samples, vec![(0, 3)]);
+        assert_eq!(tr.acceptance_rate(), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Markov-chain tooling for stochastic self-organizing particle systems.
+//!
+//! The separation algorithm of Cannon et al. is *designed as* a Markov chain
+//! `M` and *analyzed through* its stationary distribution `π` (§2.4 of the
+//! paper). This crate provides the general-purpose machinery that analysis
+//! needs, independent of the particle-system specifics:
+//!
+//! * [`MarkovChain`] — the minimal trait a simulable chain implements;
+//! * [`EnumerableChain`] + [`TransitionMatrix`] — exact transition matrices
+//!   for chains with enumerable state spaces, with stationary distributions
+//!   (power iteration), detailed-balance verification, irreducibility and
+//!   aperiodicity checks, and t-step distributions;
+//! * [`metropolis`] — the Metropolis filter (Metropolis–Hastings acceptance
+//!   rule) used by Algorithm 1;
+//! * [`stats`] — empirical distributions, total-variation distance, and
+//!   time-series summaries for simulation output.
+//!
+//! # Example: verifying a two-state chain
+//!
+//! ```
+//! use sops_chains::{EnumerableChain, TransitionMatrix};
+//!
+//! /// Two-state chain: flips with probability 1/2, else stays.
+//! struct Flip;
+//! impl EnumerableChain for Flip {
+//!     type State = bool;
+//!     fn states(&self) -> Vec<bool> { vec![false, true] }
+//!     fn transitions(&self, s: &bool) -> Vec<(bool, f64)> {
+//!         vec![(!s, 0.5)]
+//!     }
+//! }
+//!
+//! let m = TransitionMatrix::build(&Flip);
+//! assert!(m.is_irreducible());
+//! assert!(m.is_aperiodic());
+//! let pi = m.stationary(1e-12, 100_000).unwrap();
+//! assert!((pi[0] - 0.5).abs() < 1e-9);
+//! assert!(m.detailed_balance_violation(&pi) < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod exact;
+pub mod metropolis;
+pub mod stats;
+
+pub use chain::{MarkovChain, Trajectory};
+pub use exact::{EnumerableChain, TransitionMatrix};

@@ -1,0 +1,158 @@
+//! The Metropolis filter (Metropolis–Hastings acceptance rule).
+//!
+//! Algorithm 1 of the paper accepts a proposed particle move with probability
+//! `min(1, λ^{e′−e} · γ^{e′_i−e_i})` — a Metropolis filter for the stationary
+//! distribution `π(σ) ∝ λ^{e(σ)} γ^{a(σ)}`. This module implements the filter
+//! in the numerically robust exponent form used by `sops-core`: acceptance
+//! ratios are products of small integer powers of the bias parameters, so we
+//! carry `(Δe, Δa, …)` exponents and evaluate lazily.
+
+use rand::{Rng, RngExt as _};
+
+/// Accepts with probability `min(1, ratio)`.
+///
+/// This is the textbook Metropolis filter: drawing `q ~ U(0,1)` and accepting
+/// when `q < ratio` (the comparison in Step 6(iii) / Step 10 of Algorithm 1).
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // A ratio ≥ 1 is always accepted.
+/// assert!(sops_chains::metropolis::accept(2.5, &mut rng));
+/// ```
+#[inline]
+pub fn accept<R: Rng + ?Sized>(ratio: f64, rng: &mut R) -> bool {
+    ratio >= 1.0 || rng.random::<f64>() < ratio
+}
+
+/// An acceptance ratio expressed as `Π bases[k]^{exponents[k]}`.
+///
+/// Keeping the exponents symbolic avoids useless `powi` calls on the hot
+/// path: a ratio with all exponents ≥ 0 and all bases ≥ 1 is accepted without
+/// touching the RNG or computing any power.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerRatio<const K: usize> {
+    /// The bias bases, e.g. `[λ, γ]`. Must be positive.
+    pub bases: [f64; K],
+    /// The integer exponents, e.g. `[e′−e, e′_i−e_i]`.
+    pub exponents: [i32; K],
+}
+
+impl<const K: usize> PowerRatio<K> {
+    /// Creates a ratio from bases and exponents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any base is not strictly positive (the paper requires
+    /// `λ, γ > 0`; the interesting regimes are `λ, γ > 1`).
+    #[inline]
+    #[must_use]
+    pub fn new(bases: [f64; K], exponents: [i32; K]) -> Self {
+        assert!(
+            bases.iter().all(|b| *b > 0.0),
+            "bias parameters must be positive, got {bases:?}"
+        );
+        PowerRatio { bases, exponents }
+    }
+
+    /// Evaluates the ratio as an `f64`.
+    #[inline]
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        let mut v = 1.0;
+        for k in 0..K {
+            v *= self.bases[k].powi(self.exponents[k]);
+        }
+        v
+    }
+
+    /// Whether the ratio is trivially ≥ 1 (every factor ≥ 1), so the filter
+    /// accepts without sampling.
+    #[inline]
+    #[must_use]
+    pub fn certainly_accepts(&self) -> bool {
+        (0..K).all(|k| {
+            let b = self.bases[k];
+            let e = self.exponents[k];
+            e == 0 || (b >= 1.0 && e > 0) || (b <= 1.0 && e < 0)
+        })
+    }
+
+    /// Runs the Metropolis filter on this ratio.
+    #[inline]
+    pub fn accept<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.certainly_accepts() {
+            return true;
+        }
+        accept(self.value(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ratio_ge_one_always_accepts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(accept(1.0, &mut rng));
+            assert!(accept(7.3, &mut rng));
+        }
+    }
+
+    #[test]
+    fn zero_ratio_never_accepts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(!accept(0.0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn acceptance_frequency_matches_ratio() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 200_000;
+        let hits = (0..trials).filter(|_| accept(0.3, &mut rng)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    fn power_ratio_value() {
+        let r = PowerRatio::new([4.0, 2.0], [1, -2]);
+        assert!((r.value() - 1.0).abs() < 1e-15);
+        let r = PowerRatio::new([4.0, 4.0], [2, -1]);
+        assert!((r.value() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn certainly_accepts_detection() {
+        // λ=4 ≥ 1 with positive exponent, γ=4 with zero exponent.
+        assert!(PowerRatio::new([4.0, 4.0], [2, 0]).certainly_accepts());
+        // Negative exponent on base > 1: not certain.
+        assert!(!PowerRatio::new([4.0, 4.0], [2, -1]).certainly_accepts());
+        // Base < 1 with negative exponent is a factor > 1: certain.
+        assert!(PowerRatio::new([0.5], [-3]).certainly_accepts());
+    }
+
+    #[test]
+    fn power_ratio_filter_matches_plain_filter_statistically() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = PowerRatio::new([2.0], [-2]); // ratio 0.25
+        let trials = 200_000;
+        let hits = (0..trials).filter(|_| r.accept(&mut rng)).count();
+        let freq = hits as f64 / trials as f64;
+        assert!((freq - 0.25).abs() < 0.01, "freq = {freq}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_base_panics() {
+        let _ = PowerRatio::new([0.0], [1]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Empirical distributions and time-series statistics for simulation output.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An empirical distribution over observed states.
+///
+/// Used to compare long simulation runs of chain `M` against the exact
+/// stationary distribution of Lemma 9 in total-variation distance.
+///
+/// # Example
+///
+/// ```
+/// use sops_chains::stats::EmpiricalDistribution;
+///
+/// let mut emp = EmpiricalDistribution::new();
+/// for s in ["a", "a", "b", "a"] {
+///     emp.record(s);
+/// }
+/// assert_eq!(emp.total(), 4);
+/// assert!((emp.frequency(&"a") - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EmpiricalDistribution<S> {
+    counts: HashMap<S, u64>,
+    total: u64,
+}
+
+impl<S: Eq + Hash + Clone> EmpiricalDistribution<S> {
+    /// Creates an empty distribution.
+    #[must_use]
+    pub fn new() -> Self {
+        EmpiricalDistribution {
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one observation of `state`.
+    pub fn record(&mut self, state: S) {
+        *self.counts.entry(state).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    #[inline]
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct states observed.
+    #[must_use]
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw count of a state.
+    #[must_use]
+    pub fn count(&self, state: &S) -> u64 {
+        self.counts.get(state).copied().unwrap_or(0)
+    }
+
+    /// Empirical frequency of a state (0 when nothing was recorded).
+    #[must_use]
+    pub fn frequency(&self, state: &S) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(state) as f64 / self.total as f64
+        }
+    }
+
+    /// Total-variation distance to an exact distribution given as
+    /// `(state, probability)` pairs covering the whole space.
+    ///
+    /// States observed empirically but absent from `exact` contribute their
+    /// full empirical mass (they have probability 0 under `exact`).
+    #[must_use]
+    pub fn total_variation_to<'a, I>(&self, exact: I) -> f64
+    where
+        I: IntoIterator<Item = (&'a S, f64)>,
+        S: 'a,
+    {
+        let mut tv = 0.0;
+        let mut seen = 0.0;
+        for (state, p) in exact {
+            tv += (self.frequency(state) - p).abs();
+            seen += self.frequency(state);
+        }
+        // Empirical mass on states not covered by `exact`.
+        tv += 1.0 - seen;
+        tv / 2.0
+    }
+
+    /// Iterates over `(state, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&S, u64)> + '_ {
+        self.counts.iter().map(|(s, c)| (s, *c))
+    }
+}
+
+/// Summary statistics of a numeric time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty series");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of a ~95% normal confidence interval for the mean.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        1.96 * self.std_dev / (self.n as f64).sqrt()
+    }
+}
+
+/// Lag-`k` sample autocorrelation of a series.
+///
+/// Chain observables (perimeter, heterogeneous edges) are heavily
+/// autocorrelated; the harness uses this to pick subsampling intervals.
+///
+/// # Panics
+///
+/// Panics if `series.len() <= k` or the series is constant.
+#[must_use]
+pub fn autocorrelation(series: &[f64], k: usize) -> f64 {
+    assert!(series.len() > k, "need more than {k} samples for lag {k}");
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+    assert!(
+        var > 0.0,
+        "autocorrelation of a constant series is undefined"
+    );
+    let cov: f64 = (0..n - k)
+        .map(|i| (series[i] - mean) * (series[i + k] - mean))
+        .sum();
+    cov / var
+}
+
+/// Integrated autocorrelation time
+/// `τ_int = 1 + 2 Σ_{k≥1} ρ(k)`, with the sum truncated at the first
+/// non-positive autocorrelation (the standard initial-positive-sequence
+/// estimator). Chain observables decorrelate after ~τ_int steps, so the
+/// *effective* sample count of a series is `n / τ_int`
+/// ([`effective_sample_size`]). The experiment harness uses this to choose
+/// subsampling gaps.
+///
+/// # Panics
+///
+/// Panics on series shorter than 2 samples or constant series.
+#[must_use]
+pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
+    assert!(series.len() >= 2, "need at least two samples");
+    let mut tau = 1.0;
+    for k in 1..series.len() - 1 {
+        let rho = autocorrelation(series, k);
+        if rho <= 0.0 {
+            break;
+        }
+        tau += 2.0 * rho;
+    }
+    tau
+}
+
+/// Effective number of independent samples in an autocorrelated series:
+/// `n / τ_int`.
+///
+/// # Panics
+///
+/// Panics on series shorter than 2 samples or constant series.
+#[must_use]
+pub fn effective_sample_size(series: &[f64]) -> f64 {
+    series.len() as f64 / integrated_autocorrelation_time(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iid_series_has_tau_near_one() {
+        // Deterministic pseudo-random walk-free series.
+        let mut state = 88172645463325252u64;
+        let series: Vec<f64> = (0..4000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64
+            })
+            .collect();
+        let tau = integrated_autocorrelation_time(&series);
+        assert!(tau < 1.5, "τ = {tau}");
+        assert!(effective_sample_size(&series) > series.len() as f64 / 1.5);
+    }
+
+    #[test]
+    fn sticky_series_has_large_tau() {
+        // A series that changes every 50 steps is ~50× autocorrelated.
+        let series: Vec<f64> = (0..5000)
+            .map(|i| f64::from(u32::from((i / 50) % 2 == 0)))
+            .collect();
+        let tau = integrated_autocorrelation_time(&series);
+        assert!(tau > 10.0, "τ = {tau}");
+        assert!(effective_sample_size(&series) < 500.0);
+    }
+
+    #[test]
+    fn empirical_counts_and_frequencies() {
+        let mut e = EmpiricalDistribution::new();
+        for x in [1, 1, 2, 3, 1] {
+            e.record(x);
+        }
+        assert_eq!(e.total(), 5);
+        assert_eq!(e.support_size(), 3);
+        assert_eq!(e.count(&1), 3);
+        assert_eq!(e.count(&9), 0);
+        assert!((e.frequency(&2) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_to_exact_distribution() {
+        let mut e = EmpiricalDistribution::new();
+        for x in [0, 0, 1, 1] {
+            e.record(x);
+        }
+        let exact = [(0, 0.5), (1, 0.5)];
+        let tv = e.total_variation_to(exact.iter().map(|(s, p)| (s, *p)));
+        assert!(tv.abs() < 1e-12);
+
+        let exact_skewed = [(0, 1.0), (1, 0.0)];
+        let tv = e.total_variation_to(exact_skewed.iter().map(|(s, p)| (s, *p)));
+        assert!((tv - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_charges_unseen_empirical_mass() {
+        let mut e = EmpiricalDistribution::new();
+        e.record("only");
+        // Exact distribution that doesn't include "only" at all.
+        let exact = [("other", 1.0)];
+        let tv = e.total_variation_to(exact.iter().map(|(s, p)| (s, *p)));
+        assert!((tv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty series")]
+    fn summary_of_empty_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative() {
+        let series: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!(autocorrelation(&series, 1) < -0.9);
+        assert!(autocorrelation(&series, 2) > 0.9);
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let series: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        assert!((autocorrelation(&series, 0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Particle colors.
+
+use core::fmt;
+
+/// The immutable color of a particle.
+///
+/// The paper analyzes `k = 2` color classes and notes (§5) that the algorithm
+/// performs well in practice for larger `k`; colors here are small integer
+/// ids so the same chain supports any constant `k ≪ n`.
+///
+/// # Example
+///
+/// ```
+/// use sops_core::Color;
+///
+/// assert_ne!(Color::C1, Color::C2);
+/// assert_eq!(Color::new(0), Color::C1);
+/// assert_eq!(Color::C2.index(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Color(u8);
+
+impl Color {
+    /// The first color class `c₁`.
+    pub const C1: Color = Color(0);
+    /// The second color class `c₂`.
+    pub const C2: Color = Color(1);
+    /// The third color class `c₃` (for `k > 2` experiments).
+    pub const C3: Color = Color(2);
+    /// The fourth color class `c₄` (for `k > 2` experiments).
+    pub const C4: Color = Color(3);
+
+    /// Creates a color with the given class index.
+    #[inline]
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        Color(index)
+    }
+
+    /// The class index of this color.
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl From<u8> for Color {
+    #[inline]
+    fn from(index: u8) -> Self {
+        Color(index)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_distinct() {
+        let all = [Color::C1, Color::C2, Color::C3, Color::C4];
+        for (i, a) in all.iter().enumerate() {
+            assert_eq!(a.index() as usize, i);
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(Color::C1.to_string(), "c1");
+        assert_eq!(Color::new(6).to_string(), "c7");
+    }
+
+    #[test]
+    fn from_u8() {
+        assert_eq!(Color::from(3u8), Color::C4);
+    }
+}

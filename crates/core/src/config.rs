@@ -1,0 +1,831 @@
+//! Particle-system configurations on the triangular lattice.
+
+use core::fmt;
+
+use sops_lattice::{Direction, Node, NodeMap, NodeSet, DIRECTIONS};
+
+use crate::{Color, ConfigError};
+
+/// Map payload: which particle sits on a node, and its color.
+///
+/// The color is duplicated here (it also lives in `Configuration::colors`)
+/// so the chain's hot path resolves *color at node* with a single probe.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    index: u32,
+    color: Color,
+}
+
+/// A 2-heterogeneous (or k-heterogeneous) particle-system configuration: a
+/// set of colored particles occupying distinct nodes of `G_Δ`.
+///
+/// The configuration incrementally maintains its total edge count `e(σ)` and
+/// heterogeneous edge count `h(σ)` across [`Configuration::move_particle`]
+/// and [`Configuration::swap`] — the two elementary transitions of chain `M`
+/// — so the chain never rescans the system. For connected hole-free
+/// configurations the perimeter follows from the identity
+/// `p(σ) = 3n − e(σ) − 3` ([`Configuration::perimeter`]); an independent
+/// boundary-walk computation ([`Configuration::boundary_walk_length`]) is
+/// provided for cross-validation and for configurations that still have
+/// holes.
+///
+/// # Example
+///
+/// ```
+/// use sops_core::{Color, Configuration};
+/// use sops_lattice::Node;
+///
+/// // A triangle: two c1 particles and one c2 particle.
+/// let config = Configuration::new([
+///     (Node::new(0, 0), Color::C1),
+///     (Node::new(1, 0), Color::C1),
+///     (Node::new(0, 1), Color::C2),
+/// ])?;
+/// assert_eq!(config.len(), 3);
+/// assert_eq!(config.edge_count(), 3);
+/// assert_eq!(config.hetero_edge_count(), 2);
+/// assert_eq!(config.perimeter(), 3); // 3·3 − 3 − 3
+/// assert!(config.is_connected() && !config.has_holes());
+/// # Ok::<(), sops_core::ConfigError>(())
+/// ```
+#[derive(Clone)]
+pub struct Configuration {
+    occupancy: NodeMap<Slot>,
+    positions: Vec<Node>,
+    colors: Vec<Color>,
+    edges: u64,
+    hetero: u64,
+}
+
+impl Configuration {
+    /// Creates a configuration from `(node, color)` pairs.
+    ///
+    /// Connectivity is **not** required here — initial configurations with
+    /// holes are legal chain inputs and some analyses need disconnected
+    /// states — but [`crate::SeparationChain`] requires
+    /// [`Configuration::is_connected`] to hold for its invariants.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::Empty`] if no particles are given;
+    /// * [`ConfigError::DuplicateNode`] if two particles share a node.
+    pub fn new<I>(particles: I) -> Result<Self, ConfigError>
+    where
+        I: IntoIterator<Item = (Node, Color)>,
+    {
+        let particles: Vec<(Node, Color)> = particles.into_iter().collect();
+        if particles.is_empty() {
+            return Err(ConfigError::Empty);
+        }
+        let mut occupancy = NodeMap::with_capacity(particles.len());
+        let mut positions = Vec::with_capacity(particles.len());
+        let mut colors = Vec::with_capacity(particles.len());
+        for (i, &(node, color)) in particles.iter().enumerate() {
+            let slot = Slot {
+                index: i as u32,
+                color,
+            };
+            if occupancy.insert(node, slot).is_some() {
+                return Err(ConfigError::DuplicateNode(node));
+            }
+            positions.push(node);
+            colors.push(color);
+        }
+        let mut config = Configuration {
+            occupancy,
+            positions,
+            colors,
+            edges: 0,
+            hetero: 0,
+        };
+        let (e, h) = config.recount();
+        config.edges = e;
+        config.hetero = h;
+        Ok(config)
+    }
+
+    /// Number of particles `n`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the configuration is empty (never true: construction rejects
+    /// empty systems).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Iterates over `(node, color)` of every particle, in particle-index
+    /// order.
+    pub fn particles(&self) -> impl Iterator<Item = (Node, Color)> + '_ {
+        self.positions
+            .iter()
+            .zip(&self.colors)
+            .map(|(&n, &c)| (n, c))
+    }
+
+    /// The location of particle `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ n`.
+    #[inline]
+    #[must_use]
+    pub fn position_of(&self, index: usize) -> Node {
+        self.positions[index]
+    }
+
+    /// The color of particle `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ n`.
+    #[inline]
+    #[must_use]
+    pub fn color_of(&self, index: usize) -> Color {
+        self.colors[index]
+    }
+
+    /// The color of the particle at `node`, or `None` if unoccupied.
+    #[inline]
+    #[must_use]
+    pub fn color_at(&self, node: Node) -> Option<Color> {
+        self.occupancy.get(node).map(|s| s.color)
+    }
+
+    /// The index of the particle at `node`, or `None` if unoccupied.
+    #[inline]
+    #[must_use]
+    pub fn index_at(&self, node: Node) -> Option<usize> {
+        self.occupancy.get(node).map(|s| s.index as usize)
+    }
+
+    /// Whether `node` is occupied.
+    #[inline]
+    #[must_use]
+    pub fn is_occupied(&self, node: Node) -> bool {
+        self.occupancy.contains(node)
+    }
+
+    /// Number of particles of each color class present, indexed by color id.
+    #[must_use]
+    pub fn color_counts(&self) -> Vec<usize> {
+        let k = self
+            .colors
+            .iter()
+            .map(|c| c.index() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut counts = vec![0usize; k];
+        for c in &self.colors {
+            counts[c.index() as usize] += 1;
+        }
+        counts
+    }
+
+    /// Total number of configuration edges `e(σ)` (lattice edges with both
+    /// endpoints occupied). Maintained incrementally.
+    #[inline]
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// Number of heterogeneous edges `h(σ)` (endpoints of different colors).
+    /// Maintained incrementally.
+    #[inline]
+    #[must_use]
+    pub fn hetero_edge_count(&self) -> u64 {
+        self.hetero
+    }
+
+    /// Number of homogeneous edges `a(σ) = e(σ) − h(σ)`.
+    #[inline]
+    #[must_use]
+    pub fn homo_edge_count(&self) -> u64 {
+        self.edges - self.hetero
+    }
+
+    /// The perimeter `p(σ) = 3n − e(σ) − 3` of the configuration.
+    ///
+    /// The identity holds exactly for connected hole-free configurations
+    /// (Lemma 9's proof, citing the compression paper); for configurations
+    /// with holes it exceeds the boundary-walk length by the hole boundaries.
+    /// Saturates at 0 for the degenerate 1-particle case (where it is 0).
+    #[inline]
+    #[must_use]
+    pub fn perimeter(&self) -> u64 {
+        (3 * self.positions.len() as u64).saturating_sub(self.edges + 3)
+    }
+
+    /// Number of occupied neighbors of `node` (whether or not `node` itself
+    /// is occupied).
+    #[inline]
+    #[must_use]
+    pub fn occupied_neighbors(&self, node: Node) -> i32 {
+        let mut count = 0;
+        for d in DIRECTIONS {
+            if self.occupancy.contains(node.neighbor(d)) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Number of occupied neighbors of `node`, not counting `exclude`.
+    #[inline]
+    #[must_use]
+    pub fn occupied_neighbors_excluding(&self, node: Node, exclude: Node) -> i32 {
+        let mut count = 0;
+        for d in DIRECTIONS {
+            let m = node.neighbor(d);
+            if m != exclude && self.occupancy.contains(m) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Number of neighbors of `node` occupied by particles of `color`
+    /// (`|N_i(ℓ)|` in the paper's notation).
+    #[inline]
+    #[must_use]
+    pub fn colored_neighbors(&self, node: Node, color: Color) -> i32 {
+        let mut count = 0;
+        for d in DIRECTIONS {
+            if let Some(s) = self.occupancy.get(node.neighbor(d)) {
+                if s.color == color {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Like [`Configuration::colored_neighbors`] but not counting the
+    /// particle at `exclude` (`|N_i(ℓ′) ∖ {P}|` in the paper's notation).
+    #[inline]
+    #[must_use]
+    pub fn colored_neighbors_excluding(&self, node: Node, color: Color, exclude: Node) -> i32 {
+        let mut count = 0;
+        for d in DIRECTIONS {
+            let m = node.neighbor(d);
+            if m == exclude {
+                continue;
+            }
+            if let Some(s) = self.occupancy.get(m) {
+                if s.color == color {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Moves particle `index` to the adjacent unoccupied node `to`,
+    /// maintaining the edge and heterogeneous-edge counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is occupied, equals the particle's current node, or is
+    /// not adjacent to it.
+    pub fn move_particle(&mut self, index: usize, to: Node) {
+        let from = self.positions[index];
+        assert!(
+            from.is_adjacent(to),
+            "move target {to} is not adjacent to {from}"
+        );
+        assert!(!self.occupancy.contains(to), "move target {to} is occupied");
+        let slot = self
+            .occupancy
+            .remove(from)
+            .expect("particle index table out of sync with occupancy map");
+        debug_assert_eq!(slot.index as usize, index);
+        let color = slot.color;
+
+        // With the particle lifted off the board, plain neighbor counts at
+        // `from` and `to` are exactly the edges removed and added.
+        let old_deg = self.occupied_neighbors(from) as u64;
+        let old_het = (self.occupied_neighbors(from) - self.colored_neighbors(from, color)) as u64;
+        let new_deg = self.occupied_neighbors(to) as u64;
+        let new_het = (self.occupied_neighbors(to) - self.colored_neighbors(to, color)) as u64;
+
+        self.edges = self.edges - old_deg + new_deg;
+        self.hetero = self.hetero - old_het + new_het;
+        self.occupancy.insert(to, slot);
+        self.positions[index] = to;
+    }
+
+    /// Swaps the particles at adjacent nodes `a` and `b` (a *swap move*).
+    ///
+    /// A same-color swap is a no-op on the configuration but is still
+    /// performed (positions exchange); the edge counts are unaffected either
+    /// way, and `h(σ)` is updated from the local neighborhoods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are not adjacent or either is unoccupied.
+    pub fn swap(&mut self, a: Node, b: Node) {
+        assert!(a.is_adjacent(b), "swap nodes {a} and {b} are not adjacent");
+        let sa = *self.occupancy.get(a).expect("swap node a is unoccupied");
+        let sb = *self.occupancy.get(b).expect("swap node b is unoccupied");
+        if sa.color != sb.color {
+            // Recount heterogeneous edges in the two neighborhoods. The edge
+            // (a, b) itself stays heterogeneous; edges to third parties flip
+            // when the third party's color separates the two swapped colors.
+            let mut delta: i64 = 0;
+            for d in DIRECTIONS {
+                let u = a.neighbor(d);
+                if u != b {
+                    if let Some(su) = self.occupancy.get(u) {
+                        delta -= i64::from(su.color != sa.color);
+                        delta += i64::from(su.color != sb.color);
+                    }
+                }
+                let v = b.neighbor(d);
+                if v != a {
+                    if let Some(sv) = self.occupancy.get(v) {
+                        delta -= i64::from(sv.color != sb.color);
+                        delta += i64::from(sv.color != sa.color);
+                    }
+                }
+            }
+            self.hetero = (self.hetero as i64 + delta) as u64;
+        }
+        // Physically exchange the particles.
+        self.occupancy.insert(a, sb);
+        self.occupancy.insert(b, sa);
+        self.positions[sa.index as usize] = b;
+        self.positions[sb.index as usize] = a;
+    }
+
+    /// Recomputes `(e(σ), h(σ))` from scratch. Used by tests to validate the
+    /// incremental bookkeeping; O(n).
+    #[must_use]
+    pub fn recount(&self) -> (u64, u64) {
+        let mut edges = 0;
+        let mut hetero = 0;
+        // Count each edge from its E / NE / NW side only.
+        const HALF: [Direction; 3] = [Direction::E, Direction::NE, Direction::NW];
+        for (node, slot) in self.occupancy.iter() {
+            for d in HALF {
+                if let Some(other) = self.occupancy.get(node.neighbor(d)) {
+                    edges += 1;
+                    if other.color != slot.color {
+                        hetero += 1;
+                    }
+                }
+            }
+        }
+        (edges, hetero)
+    }
+
+    /// Whether the configuration is connected in `G_Δ`.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let mut seen = NodeSet::with_capacity(self.len());
+        let mut stack = vec![self.positions[0]];
+        seen.insert(self.positions[0]);
+        while let Some(n) = stack.pop() {
+            for m in n.neighbors() {
+                if self.occupancy.contains(m) && seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        seen.len() == self.len()
+    }
+
+    /// Number of holes: maximal finite connected components of unoccupied
+    /// nodes.
+    ///
+    /// Computed by flood-filling the complement from outside the bounding
+    /// box; unoccupied in-box nodes not reached belong to holes.
+    #[must_use]
+    pub fn hole_count(&self) -> usize {
+        let (min_x, max_x, min_y, max_y) = self.bounding_box();
+        // Expand by one so the outside margin forms a connected ring.
+        let (lo_x, hi_x) = (min_x - 1, max_x + 1);
+        let (lo_y, hi_y) = (min_y - 1, max_y + 1);
+
+        let in_box = |n: Node| n.x >= lo_x && n.x <= hi_x && n.y >= lo_y && n.y <= hi_y;
+
+        // Flood the exterior starting from the whole margin ring.
+        let mut outside = NodeSet::new();
+        let mut stack = Vec::new();
+        for x in lo_x..=hi_x {
+            for y in [lo_y, hi_y] {
+                let n = Node::new(x, y);
+                if !self.occupancy.contains(n) && outside.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        for y in lo_y..=hi_y {
+            for x in [lo_x, hi_x] {
+                let n = Node::new(x, y);
+                if !self.occupancy.contains(n) && outside.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        while let Some(n) = stack.pop() {
+            for m in n.neighbors() {
+                if in_box(m) && !self.occupancy.contains(m) && outside.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+
+        // Remaining unoccupied in-box nodes are hole nodes; count components.
+        let mut hole_seen = NodeSet::new();
+        let mut holes = 0;
+        for x in lo_x..=hi_x {
+            for y in lo_y..=hi_y {
+                let n = Node::new(x, y);
+                if self.occupancy.contains(n) || outside.contains(n) || hole_seen.contains(n) {
+                    continue;
+                }
+                holes += 1;
+                hole_seen.insert(n);
+                let mut stack = vec![n];
+                while let Some(u) = stack.pop() {
+                    for m in u.neighbors() {
+                        if in_box(m)
+                            && !self.occupancy.contains(m)
+                            && !outside.contains(m)
+                            && hole_seen.insert(m)
+                        {
+                            stack.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        holes
+    }
+
+    /// Whether the configuration has at least one hole.
+    #[must_use]
+    pub fn has_holes(&self) -> bool {
+        self.hole_count() > 0
+    }
+
+    /// Axial bounding box `(min_x, max_x, min_y, max_y)` of the particles.
+    #[must_use]
+    pub fn bounding_box(&self) -> (i32, i32, i32, i32) {
+        let mut min_x = i32::MAX;
+        let mut max_x = i32::MIN;
+        let mut min_y = i32::MAX;
+        let mut max_y = i32::MIN;
+        for &n in &self.positions {
+            min_x = min_x.min(n.x);
+            max_x = max_x.max(n.x);
+            min_y = min_y.min(n.y);
+            max_y = max_y.max(n.y);
+        }
+        (min_x, max_x, min_y, max_y)
+    }
+
+    /// Length of the outer boundary walk `P`: the closed walk on
+    /// configuration edges enclosing all particles.
+    ///
+    /// This is an independent O(p) computation of the perimeter used to
+    /// cross-validate the `p = 3n − e − 3` identity; for configurations with
+    /// holes it returns only the *outer* boundary length (the identity then
+    /// differs by the hole boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is disconnected (the walk is undefined).
+    #[must_use]
+    pub fn boundary_walk_length(&self) -> u64 {
+        assert!(
+            self.is_connected(),
+            "boundary walk requires a connected configuration"
+        );
+        if self.len() == 1 {
+            return 0;
+        }
+        // Start at the lexicographically smallest occupied node (min x, then
+        // min y): its W / NW / SW neighbors are all unoccupied, so the
+        // exterior lies to its west and a counterclockwise contour walk can
+        // start with a virtual predecessor in direction W.
+        let start = self
+            .positions
+            .iter()
+            .copied()
+            .min_by_key(|n| (n.x, n.y))
+            .expect("configuration is nonempty");
+
+        let next_from = |cur: Node, back: Direction| -> Direction {
+            // Scan counterclockwise from just past the direction we came
+            // from; the last candidate is `back` itself (retreat from a leaf).
+            for k in 1..=6 {
+                let d = back.rotated_by(k);
+                if self.occupancy.contains(cur.neighbor(d)) {
+                    return d;
+                }
+            }
+            unreachable!("connected configuration with n ≥ 2 has an occupied neighbor")
+        };
+
+        let first_dir = next_from(start, Direction::W);
+        let mut cur = start.neighbor(first_dir);
+        let mut back = first_dir.opposite();
+        let mut steps: u64 = 1;
+        loop {
+            let d = next_from(cur, back);
+            if cur == start && d == first_dir {
+                break;
+            }
+            cur = cur.neighbor(d);
+            back = d.opposite();
+            steps += 1;
+        }
+        steps
+    }
+
+    /// The canonical form of this configuration: particle set translated so
+    /// its lexicographically smallest node is the origin, sorted. Two
+    /// configurations are the same *configuration* in the paper's sense
+    /// (equivalence class of arrangements under translation) iff their
+    /// canonical forms are equal.
+    #[must_use]
+    pub fn canonical_form(&self) -> CanonicalForm {
+        let base = self
+            .positions
+            .iter()
+            .copied()
+            .min_by_key(|n| (n.x, n.y))
+            .expect("configuration is nonempty");
+        let mut cells: Vec<(i32, i32, u8)> = self
+            .particles()
+            .map(|(n, c)| (n.x - base.x, n.y - base.y, c.index()))
+            .collect();
+        cells.sort_unstable();
+        CanonicalForm { cells }
+    }
+}
+
+impl fmt::Debug for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Configuration")
+            .field("n", &self.len())
+            .field("edges", &self.edges)
+            .field("hetero", &self.hetero)
+            .field("perimeter", &self.perimeter())
+            .finish()
+    }
+}
+
+/// A translation-canonical snapshot of a configuration, usable as a hash key
+/// (for state-space enumeration and empirical distributions).
+///
+/// # Example
+///
+/// ```
+/// use sops_core::{Color, Configuration};
+/// use sops_lattice::Node;
+///
+/// let a = Configuration::new([(Node::new(0, 0), Color::C1), (Node::new(1, 0), Color::C2)])?;
+/// let b = Configuration::new([(Node::new(5, -3), Color::C1), (Node::new(6, -3), Color::C2)])?;
+/// assert_eq!(a.canonical_form(), b.canonical_form());
+/// # Ok::<(), sops_core::ConfigError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalForm {
+    cells: Vec<(i32, i32, u8)>,
+}
+
+impl CanonicalForm {
+    /// The `(x, y, color-index)` cells in sorted order.
+    #[must_use]
+    pub fn cells(&self) -> &[(i32, i32, u8)] {
+        &self.cells
+    }
+
+    /// Number of particles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the form is empty (never true for forms produced by
+    /// [`Configuration::canonical_form`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reconstructs a configuration from this form.
+    #[must_use]
+    pub fn to_configuration(&self) -> Configuration {
+        Configuration::new(
+            self.cells
+                .iter()
+                .map(|&(x, y, c)| (Node::new(x, y), Color::new(c))),
+        )
+        .expect("canonical forms hold distinct nodes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Configuration {
+        Configuration::new([
+            (Node::new(0, 0), Color::C1),
+            (Node::new(1, 0), Color::C1),
+            (Node::new(0, 1), Color::C2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Configuration::new(std::iter::empty()),
+            Err(ConfigError::Empty)
+        ));
+        let dup = Configuration::new([(Node::new(0, 0), Color::C1), (Node::new(0, 0), Color::C2)]);
+        assert!(matches!(dup, Err(ConfigError::DuplicateNode(_))));
+    }
+
+    #[test]
+    fn counts_on_triangle() {
+        let c = tri();
+        assert_eq!(c.edge_count(), 3);
+        assert_eq!(c.hetero_edge_count(), 2);
+        assert_eq!(c.homo_edge_count(), 1);
+        assert_eq!(c.perimeter(), 3);
+        assert_eq!(c.recount(), (3, 2));
+        assert_eq!(c.color_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn neighbor_counting_with_exclusion() {
+        let c = tri();
+        let origin = Node::new(0, 0);
+        assert_eq!(c.occupied_neighbors(origin), 2);
+        assert_eq!(c.occupied_neighbors_excluding(origin, Node::new(1, 0)), 1);
+        assert_eq!(c.colored_neighbors(origin, Color::C1), 1);
+        assert_eq!(c.colored_neighbors(origin, Color::C2), 1);
+        assert_eq!(
+            c.colored_neighbors_excluding(origin, Color::C2, Node::new(0, 1)),
+            0
+        );
+        // Unoccupied node adjacent to all three particles.
+        let hub = Node::new(1, -1); // neighbors: (0,0)? dist((1,-1),(0,0)) = 1 ✓, (1,0) ✓, (0,1)? dist = 2 ✗
+        assert_eq!(c.occupied_neighbors(hub), 2);
+    }
+
+    #[test]
+    fn move_particle_updates_counts_incrementally() {
+        let mut c = tri();
+        // Move the c2 particle from (0,1) to (1,-1)? not adjacent; use (-1,1)→ no.
+        // (0,1) neighbors: (1,1),(0,2),(-1,2)?? Use a legal adjacent target: (1,1)? wait
+        // we move particle 2 at (0,1) to (1,1), adjacent to both others? (1,1)-(0,0): dist 2.
+        c.move_particle(2, Node::new(1, 1));
+        assert_eq!(c.position_of(2), Node::new(1, 1));
+        let (e, h) = c.recount();
+        assert_eq!((c.edge_count(), c.hetero_edge_count()), (e, h));
+        // (1,1) is adjacent to (1,0) and (0,1)(now empty): one edge, heterogeneous.
+        assert_eq!(c.edge_count(), 2);
+        assert_eq!(c.hetero_edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn move_to_occupied_panics() {
+        let mut c = tri();
+        c.move_particle(0, Node::new(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn move_to_non_adjacent_panics() {
+        let mut c = tri();
+        c.move_particle(0, Node::new(3, 3));
+    }
+
+    #[test]
+    fn swap_updates_hetero_count() {
+        // Line: c1 at (0,0), c1 at (1,0), c2 at (2,0).
+        let mut c = Configuration::new([
+            (Node::new(0, 0), Color::C1),
+            (Node::new(1, 0), Color::C1),
+            (Node::new(2, 0), Color::C2),
+        ])
+        .unwrap();
+        assert_eq!(c.hetero_edge_count(), 1);
+        c.swap(Node::new(1, 0), Node::new(2, 0));
+        // Now colors along the line are c1, c2, c1: two heterogeneous edges.
+        assert_eq!(c.hetero_edge_count(), 2);
+        assert_eq!(c.recount().1, 2);
+        assert_eq!(c.color_at(Node::new(1, 0)), Some(Color::C2));
+        // Particle identities moved: particle 1 (c1) now sits at (2,0).
+        assert_eq!(c.position_of(1), Node::new(2, 0));
+        assert_eq!(c.color_of(1), Color::C1);
+        // Swapping back restores the count.
+        c.swap(Node::new(1, 0), Node::new(2, 0));
+        assert_eq!(c.hetero_edge_count(), 1);
+    }
+
+    #[test]
+    fn connectivity_and_holes() {
+        let c = tri();
+        assert!(c.is_connected());
+        assert_eq!(c.hole_count(), 0);
+
+        let disconnected =
+            Configuration::new([(Node::new(0, 0), Color::C1), (Node::new(5, 5), Color::C1)])
+                .unwrap();
+        assert!(!disconnected.is_connected());
+
+        // A 6-ring around an empty center: exactly one hole.
+        let ring = Configuration::new(Node::ORIGIN.neighbors().into_iter().map(|n| (n, Color::C1)))
+            .unwrap();
+        assert!(ring.is_connected());
+        assert_eq!(ring.hole_count(), 1);
+        assert!(ring.has_holes());
+    }
+
+    #[test]
+    fn perimeter_identity_matches_boundary_walk() {
+        let c = tri();
+        assert_eq!(c.boundary_walk_length(), c.perimeter());
+
+        // Hexagon of 7 particles: e = 12, p = 3·7 − 3 − 12 = 6.
+        let mut nodes = vec![Node::ORIGIN];
+        nodes.extend(Node::ORIGIN.neighbors());
+        let hex = Configuration::new(nodes.into_iter().map(|n| (n, Color::C1))).unwrap();
+        assert_eq!(hex.perimeter(), 6);
+        assert_eq!(hex.boundary_walk_length(), 6);
+
+        // A line of 4: e = 3, p = 12 − 3 − 3 = 6 (walk goes out and back).
+        let line = Configuration::new((0..4).map(|x| (Node::new(x, 0), Color::C1))).unwrap();
+        assert_eq!(line.perimeter(), 6);
+        assert_eq!(line.boundary_walk_length(), 6);
+    }
+
+    #[test]
+    fn single_particle_has_zero_perimeter() {
+        let c = Configuration::new([(Node::ORIGIN, Color::C1)]).unwrap();
+        assert_eq!(c.perimeter(), 0);
+        assert_eq!(c.boundary_walk_length(), 0);
+        assert_eq!(c.edge_count(), 0);
+    }
+
+    #[test]
+    fn holey_configuration_walk_counts_outer_boundary_only() {
+        // 6-ring: outer walk length 6·... ring of 6 particles: e = 6,
+        // identity p = 18 − 3 − 6 = 9 = outer (6) + hole boundary (... 3)? No:
+        // just verify outer walk < identity for a holey configuration.
+        let ring = Configuration::new(Node::ORIGIN.neighbors().into_iter().map(|n| (n, Color::C1)))
+            .unwrap();
+        assert!(ring.has_holes());
+        assert!(ring.boundary_walk_length() < ring.perimeter());
+    }
+
+    #[test]
+    fn canonical_form_is_translation_invariant_and_color_sensitive() {
+        let a = tri();
+        let b = Configuration::new([
+            (Node::new(10, -7), Color::C1),
+            (Node::new(11, -7), Color::C1),
+            (Node::new(10, -6), Color::C2),
+        ])
+        .unwrap();
+        assert_eq!(a.canonical_form(), b.canonical_form());
+
+        let recolored = Configuration::new([
+            (Node::new(0, 0), Color::C2),
+            (Node::new(1, 0), Color::C1),
+            (Node::new(0, 1), Color::C2),
+        ])
+        .unwrap();
+        assert_ne!(a.canonical_form(), recolored.canonical_form());
+
+        // Round trip.
+        let rt = a.canonical_form().to_configuration();
+        assert_eq!(rt.canonical_form(), a.canonical_form());
+        assert_eq!(rt.edge_count(), a.edge_count());
+    }
+
+    #[test]
+    fn bounding_box() {
+        let c = Configuration::new([
+            (Node::new(-2, 3), Color::C1),
+            (Node::new(-1, 3), Color::C1),
+            (Node::new(-1, 4), Color::C1),
+        ])
+        .unwrap();
+        assert_eq!(c.bounding_box(), (-2, -1, 3, 4));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types.
+
+use core::fmt;
+
+use sops_lattice::Node;
+
+/// Errors constructing or validating a particle-system configuration.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Two particles were placed on the same lattice node.
+    DuplicateNode(Node),
+    /// A configuration must contain at least one particle.
+    Empty,
+    /// The configuration is not connected (required by the chain: a
+    /// disconnected particle cannot communicate with the rest of the system).
+    Disconnected,
+    /// A bias parameter was not strictly positive.
+    InvalidBias {
+        /// The parameter name (`"lambda"` or `"gamma"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A requested color count exceeded the total particle count.
+    BadColorCounts {
+        /// Total particles requested.
+        n: usize,
+        /// Sum of the per-color counts.
+        sum: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DuplicateNode(n) => {
+                write!(f, "two particles occupy the same node {n}")
+            }
+            ConfigError::Empty => write!(f, "configuration has no particles"),
+            ConfigError::Disconnected => write!(f, "configuration is not connected"),
+            ConfigError::InvalidBias { name, value } => {
+                write!(
+                    f,
+                    "bias parameter {name} must be strictly positive, got {value}"
+                )
+            }
+            ConfigError::BadColorCounts { n, sum } => {
+                write!(
+                    f,
+                    "color counts sum to {sum} but {n} particles were requested"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ConfigError::DuplicateNode(Node::new(1, 2));
+        assert!(e.to_string().contains("(1, 2)"));
+        assert!(ConfigError::Empty.to_string().contains("no particles"));
+        let e = ConfigError::InvalidBias {
+            name: "gamma",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("gamma"));
+        let e = ConfigError::BadColorCounts { n: 5, sum: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::Disconnected);
+        assert!(e.to_string().contains("not connected"));
+    }
+}

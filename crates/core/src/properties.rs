@@ -1,0 +1,311 @@
+//! The locally checkable movement conditions of the separation algorithm.
+//!
+//! A particle may move from location `ℓ` to an adjacent unoccupied location
+//! `ℓ′` only when one of two properties holds (Properties 4 and 5 of the
+//! paper). Both are functions of the eight lattice nodes surrounding the pair
+//! `{ℓ, ℓ′}` — a strictly local check — and together they guarantee the move
+//! neither disconnects the system nor creates a hole (Lemma 6, inherited
+//! from the compression paper).
+//!
+//! # Geometry of the combined neighborhood
+//!
+//! For adjacent `ℓ` and `ℓ′ = ℓ + d`, the nodes adjacent to `ℓ` or `ℓ′`
+//! (excluding the pair itself) form an 8-cycle in `G_Δ`. We index it
+//! counterclockwise:
+//!
+//! ```text
+//! index  node
+//!   0    ℓ′ + d¹        (d¹ = d rotated 60° ccw, …)
+//!   1    ℓ  + d¹   ← common neighbor (S)
+//!   2    ℓ  + d²
+//!   3    ℓ  + d³
+//!   4    ℓ  + d⁴
+//!   5    ℓ  + d⁵   ← common neighbor (S)
+//!   6    ℓ′ + d⁵
+//!   7    ℓ′ + d⁰  (= ℓ′ + d)
+//! ```
+//!
+//! Consecutive ring nodes are lattice-adjacent and no chords exist, so paths
+//! "through `N(ℓ ∪ ℓ′)`" are exactly runs of consecutive occupied positions.
+
+use sops_lattice::{Direction, Node};
+
+use crate::Configuration;
+
+/// Ring positions of the two common neighbors `S = N(ℓ) ∩ N(ℓ′)`.
+pub const S_POSITIONS: [usize; 2] = [1, 5];
+
+/// The eight nodes of the combined neighborhood of `ℓ` and `ℓ′ = ℓ + d`, in
+/// the cyclic order documented at the module level.
+#[must_use]
+pub fn ring(from: Node, dir: Direction) -> [Node; 8] {
+    let to = from.neighbor(dir);
+    [
+        to.neighbor(dir.rotated_by(1)),
+        from.neighbor(dir.rotated_by(1)),
+        from.neighbor(dir.rotated_by(2)),
+        from.neighbor(dir.rotated_by(3)),
+        from.neighbor(dir.rotated_by(4)),
+        from.neighbor(dir.rotated_by(5)),
+        to.neighbor(dir.rotated_by(5)),
+        to.neighbor(dir),
+    ]
+}
+
+/// Occupancy of the combined neighborhood ring in a configuration.
+#[must_use]
+pub fn ring_occupancy(config: &Configuration, from: Node, dir: Direction) -> [bool; 8] {
+    let ring = ring(from, dir);
+    let mut occ = [false; 8];
+    for (o, node) in occ.iter_mut().zip(ring) {
+        *o = config.is_occupied(node);
+    }
+    occ
+}
+
+/// Property 4 on a ring-occupancy pattern: `|S| ∈ {1, 2}` and every particle
+/// in `N(ℓ ∪ ℓ′)` is connected to **exactly one** particle of `S` by a path
+/// through `N(ℓ ∪ ℓ′)`.
+#[must_use]
+pub fn property4(occ: [bool; 8]) -> bool {
+    let s_count = usize::from(occ[S_POSITIONS[0]]) + usize::from(occ[S_POSITIONS[1]]);
+    if s_count == 0 {
+        return false;
+    }
+    // Occupied positions decompose into maximal runs of consecutive ring
+    // indices; each run must contain exactly one occupied S position.
+    for component in occupied_components(occ) {
+        let s_in_component = component
+            .iter()
+            .filter(|&&i| S_POSITIONS.contains(&i) && occ[i])
+            .count();
+        if s_in_component != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Property 5 on a ring-occupancy pattern: `|S| = 0`, and both
+/// `N(ℓ) ∖ {ℓ′}` and `N(ℓ′) ∖ {ℓ}` are nonempty and connected.
+///
+/// With the common neighbors unoccupied, `N(ℓ) ∖ {ℓ′}` is the occupied
+/// subset of ring positions `{2, 3, 4}` and `N(ℓ′) ∖ {ℓ}` of `{6, 7, 0}`;
+/// "connected" means the occupied positions form one consecutive run.
+#[must_use]
+pub fn property5(occ: [bool; 8]) -> bool {
+    if occ[S_POSITIONS[0]] || occ[S_POSITIONS[1]] {
+        return false;
+    }
+    side_nonempty_and_connected(occ[2], occ[3], occ[4])
+        && side_nonempty_and_connected(occ[6], occ[7], occ[0])
+}
+
+fn side_nonempty_and_connected(a: bool, b: bool, c: bool) -> bool {
+    match (a, b, c) {
+        (false, false, false) => false, // empty
+        (true, false, true) => false,   // disconnected
+        _ => true,
+    }
+}
+
+/// Whether a particle at `from` may move to the adjacent unoccupied node in
+/// direction `dir`: Property 4 or Property 5 holds.
+///
+/// This is condition (ii) of Step 6 in Algorithm 1; the caller separately
+/// enforces condition (i), `|N(ℓ)| ≠ 5`.
+#[must_use]
+pub fn movement_allowed(config: &Configuration, from: Node, dir: Direction) -> bool {
+    let occ = ring_occupancy(config, from, dir);
+    property4(occ) || property5(occ)
+}
+
+/// Maximal runs of consecutive occupied ring positions (cyclically).
+fn occupied_components(occ: [bool; 8]) -> Vec<Vec<usize>> {
+    let occupied_count = occ.iter().filter(|&&b| b).count();
+    if occupied_count == 0 {
+        return Vec::new();
+    }
+    if occupied_count == 8 {
+        return vec![(0..8).collect()];
+    }
+    // Start scanning just after an unoccupied position so runs do not wrap.
+    let start = (0..8)
+        .find(|&i| !occ[i])
+        .expect("some position is unoccupied");
+    let mut components = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    for k in 1..=8 {
+        let i = (start + k) % 8;
+        if occ[i] {
+            current.push(i);
+        } else if !current.is_empty() {
+            components.push(core::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        components.push(current);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Color;
+    use sops_lattice::DIRECTIONS;
+
+    /// Literal reference implementation of Property 4: build the induced
+    /// graph on occupied ring nodes (adjacency = cyclic neighbors) and check
+    /// each occupied node reaches exactly one occupied S node.
+    fn property4_reference(occ: [bool; 8]) -> bool {
+        let s: Vec<usize> = S_POSITIONS.iter().copied().filter(|&i| occ[i]).collect();
+        if s.is_empty() {
+            return false;
+        }
+        for v in 0..8 {
+            if !occ[v] {
+                continue;
+            }
+            // BFS over occupied ring positions.
+            let mut seen = [false; 8];
+            seen[v] = true;
+            let mut stack = vec![v];
+            while let Some(u) = stack.pop() {
+                for w in [(u + 1) % 8, (u + 7) % 8] {
+                    if occ[w] && !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            let reachable_s = s.iter().filter(|&&i| seen[i]).count();
+            if reachable_s != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Literal reference implementation of Property 5.
+    fn property5_reference(occ: [bool; 8]) -> bool {
+        if occ[1] || occ[5] {
+            return false;
+        }
+        // N(ℓ)\{ℓ'} = occupied among {1,2,3,4,5}; with 1 and 5 empty: {2,3,4}.
+        let check_side = |positions: [usize; 3]| -> bool {
+            let occupied: Vec<usize> = positions.iter().copied().filter(|&i| occ[i]).collect();
+            if occupied.is_empty() {
+                return false;
+            }
+            // Connected within the ring path positions[0]-positions[1]-positions[2].
+            if occupied.len() == 2 {
+                // Must be adjacent in the path order.
+                let idx: Vec<usize> = occupied
+                    .iter()
+                    .map(|&p| positions.iter().position(|&q| q == p).unwrap())
+                    .collect();
+                (idx[0] as i32 - idx[1] as i32).abs() == 1
+            } else {
+                true // 1 or 3 occupied on a path of 3 is always connected
+            }
+        };
+        check_side([2, 3, 4]) && check_side([6, 7, 0])
+    }
+
+    #[test]
+    fn property4_matches_reference_on_all_256_patterns() {
+        for bits in 0u16..256 {
+            let occ = core::array::from_fn(|i| bits & (1 << i) != 0);
+            assert_eq!(
+                property4(occ),
+                property4_reference(occ),
+                "pattern {bits:#010b}"
+            );
+        }
+    }
+
+    #[test]
+    fn property5_matches_reference_on_all_256_patterns() {
+        for bits in 0u16..256 {
+            let occ = core::array::from_fn(|i| bits & (1 << i) != 0);
+            assert_eq!(
+                property5(occ),
+                property5_reference(occ),
+                "pattern {bits:#010b}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_nodes_form_a_chordless_8_cycle() {
+        for d in DIRECTIONS {
+            let from = Node::new(3, -2);
+            let r = ring(from, d);
+            let to = from.neighbor(d);
+            for (i, node) in r.iter().enumerate() {
+                // Consecutive ring nodes adjacent; skipping one is not.
+                assert!(node.is_adjacent(r[(i + 1) % 8]), "dir {d} at {i}");
+                assert!(!node.is_adjacent(r[(i + 2) % 8]), "chord at {i}, dir {d}");
+                // Ring excludes the pair.
+                assert_ne!(*node, from);
+                assert_ne!(*node, to);
+            }
+            // S positions are adjacent to both ℓ and ℓ'.
+            for &s in &S_POSITIONS {
+                assert!(r[s].is_adjacent(from) && r[s].is_adjacent(to));
+            }
+            // Non-S positions are adjacent to exactly one of the pair.
+            for (i, node) in r.iter().enumerate() {
+                if !S_POSITIONS.contains(&i) {
+                    assert!(node.is_adjacent(from) ^ node.is_adjacent(to), "pos {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_pair_satisfies_neither_property() {
+        // A 2-particle configuration moving one particle away from the other:
+        // the ring is empty, so no property holds (the move would disconnect).
+        let config =
+            Configuration::new([(Node::new(0, 0), Color::C1), (Node::new(1, 0), Color::C1)])
+                .unwrap();
+        // Particle at (0,0) moving W to (-1,0): ring around ((0,0),W) contains
+        // (1,0)? (1,0) is adjacent to (0,0) but not to (-1,0): ring position
+        // on the ℓ side. The single S... just check the official API:
+        assert!(!movement_allowed(&config, Node::new(0, 0), Direction::W));
+        // Sliding around the partner is allowed: move NE keeps contact via S.
+        assert!(movement_allowed(&config, Node::new(0, 0), Direction::NE));
+    }
+
+    #[test]
+    fn movement_allowed_uses_configuration_occupancy() {
+        // Triangle with an extra tail; moving the tail tip is fine, moving a
+        // cut vertex is not.
+        let config = Configuration::new([
+            (Node::new(0, 0), Color::C1),
+            (Node::new(1, 0), Color::C1),
+            (Node::new(0, 1), Color::C1),
+            (Node::new(-1, 0), Color::C1), // tail attached to (0,0)
+        ])
+        .unwrap();
+        // Tail tip can slide to (-1, 1) (Property 4 via common neighbor (0,0)... )
+        assert!(movement_allowed(&config, Node::new(-1, 0), Direction::NE));
+    }
+
+    #[test]
+    fn property4_blocks_two_sided_contact() {
+        // Both S occupied but in separate components each with its own S:
+        // occ[1] and occ[5] only → components {1}, {5}: each contains exactly
+        // one S → allowed (this is the classic "tunnel" move).
+        let mut occ = [false; 8];
+        occ[1] = true;
+        occ[5] = true;
+        assert!(property4(occ));
+        // A run connecting both S positions (1..=5): one component with two
+        // S particles → forbidden (would create a hole or disconnect).
+        let occ = core::array::from_fn(|i| (1..=5).contains(&i));
+        assert!(!property4(occ));
+    }
+}

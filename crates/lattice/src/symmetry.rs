@@ -1,0 +1,221 @@
+//! The point symmetries of the triangular lattice.
+//!
+//! `G_Δ`'s symmetry group fixing the origin is the dihedral group `D₆`:
+//! six rotations (by multiples of 60°) and six reflections. Combined with
+//! translations these are all lattice isometries. The enumeration machinery
+//! uses them to canonicalize shapes *up to isometry* (free shapes), and the
+//! polymer machinery's translation/rotation-invariance hypotheses
+//! (Theorem 11) are tested against them.
+
+use crate::Node;
+
+/// One of the twelve point symmetries of `G_Δ` (the dihedral group `D₆`).
+///
+/// # Example
+///
+/// ```
+/// use sops_lattice::{symmetry::Isometry, Node};
+///
+/// let n = Node::new(2, 1);
+/// // All twelve images of a generic node are distinct.
+/// let images: std::collections::HashSet<Node> =
+///     Isometry::ALL.iter().map(|g| g.apply(n)).collect();
+/// assert_eq!(images.len(), 12);
+/// // Every isometry preserves distance to the origin.
+/// assert!(Isometry::ALL
+///     .iter()
+///     .all(|g| g.apply(n).distance(Node::ORIGIN) == n.distance(Node::ORIGIN)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Isometry {
+    /// Number of 60° counterclockwise rotations (0–5).
+    rotations: u8,
+    /// Whether to reflect first (across the x-axis of the Cartesian
+    /// embedding, i.e. `(x, y) ↦ (x + y, −y)` in axial coordinates).
+    reflect: bool,
+}
+
+impl Isometry {
+    /// The identity.
+    pub const IDENTITY: Isometry = Isometry {
+        rotations: 0,
+        reflect: false,
+    };
+
+    /// All twelve elements of `D₆`.
+    pub const ALL: [Isometry; 12] = {
+        let mut all = [Isometry::IDENTITY; 12];
+        let mut i = 0;
+        while i < 12 {
+            all[i] = Isometry {
+                rotations: (i % 6) as u8,
+                reflect: i >= 6,
+            };
+            i += 1;
+        }
+        all
+    };
+
+    /// Applies this isometry to a node (about the origin).
+    #[must_use]
+    pub fn apply(self, node: Node) -> Node {
+        let mut n = node;
+        if self.reflect {
+            // Reflection across the Cartesian x-axis: y ↦ −y. In axial
+            // coordinates the Cartesian point is (x + y/2, y·√3/2), so the
+            // image has axial coordinates (x + y, −y).
+            n = Node::new(n.x + n.y, -n.y);
+        }
+        n.rotated_by(self.rotations as usize)
+    }
+
+    /// The composition `self ∘ other` (apply `other` first).
+    #[must_use]
+    pub fn compose(self, other: Isometry) -> Isometry {
+        // Work out the action on the generator pair (rotation r, reflection
+        // s) with s·r = r⁻¹·s.
+        let (r1, s1) = (other.rotations as i32, other.reflect);
+        let (r2, s2) = (self.rotations as i32, self.reflect);
+        // other = s1 then r1 ; self = s2 then r2.
+        // total = r2 ∘ s2 ∘ r1 ∘ s1. Push s2 past r1: s·r^k = r^{-k}·s.
+        let (rot, refl) = if s2 {
+            (((r2 - r1) % 6 + 6) % 6, !s1)
+        } else {
+            ((r2 + r1) % 6, s1)
+        };
+        Isometry {
+            rotations: rot as u8,
+            reflect: refl,
+        }
+    }
+
+    /// The inverse isometry.
+    #[must_use]
+    pub fn inverse(self) -> Isometry {
+        if self.reflect {
+            // (r^k s)⁻¹ = s⁻¹ r^{-k} = s r^{-k} = r^{k} s ⇒ involution.
+            self
+        } else {
+            Isometry {
+                rotations: ((6 - self.rotations as i32) % 6) as u8,
+                reflect: false,
+            }
+        }
+    }
+}
+
+/// Canonicalizes a set of nodes up to **translation only**: shifts so the
+/// lexicographically smallest node is the origin, sorted.
+#[must_use]
+pub fn canonical_translation(nodes: &[Node]) -> Vec<Node> {
+    let base = nodes
+        .iter()
+        .copied()
+        .min_by_key(|n| (n.x, n.y))
+        .expect("node set is nonempty");
+    let mut out: Vec<Node> = nodes.iter().map(|&n| n - base).collect();
+    out.sort_unstable_by_key(|n| (n.x, n.y));
+    out
+}
+
+/// Canonicalizes a set of nodes up to **all lattice isometries**
+/// (translations + `D₆`): the lexicographically smallest of the twelve
+/// translation-canonical images.
+///
+/// Two shapes have equal canonical forms iff one can be mapped to the
+/// other by a lattice isometry — the "free shape" equivalence used to
+/// cross-check enumeration counts against the free polyhex numbers.
+#[must_use]
+pub fn canonical_isometry(nodes: &[Node]) -> Vec<Node> {
+    Isometry::ALL
+        .iter()
+        .map(|g| {
+            let image: Vec<Node> = nodes.iter().map(|&n| g.apply(n)).collect();
+            canonical_translation(&image)
+        })
+        .min()
+        .expect("twelve images always exist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_distinct_group_elements() {
+        // Distinct as functions: evaluate on a generic pair of nodes.
+        let probe = [Node::new(3, 1), Node::new(-2, 5)];
+        let mut images = std::collections::HashSet::new();
+        for g in Isometry::ALL {
+            images.insert((g.apply(probe[0]), g.apply(probe[1])));
+        }
+        assert_eq!(images.len(), 12);
+    }
+
+    #[test]
+    fn group_axioms() {
+        let probe = Node::new(4, -7);
+        for g in Isometry::ALL {
+            // Inverse.
+            assert_eq!(g.inverse().apply(g.apply(probe)), probe, "{g:?}");
+            // Identity composition.
+            assert_eq!(g.compose(Isometry::IDENTITY), g);
+            assert_eq!(Isometry::IDENTITY.compose(g), g);
+            for h in Isometry::ALL {
+                // compose matches function composition.
+                let via_compose = g.compose(h).apply(probe);
+                let via_apply = g.apply(h.apply(probe));
+                assert_eq!(via_compose, via_apply, "{g:?} ∘ {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn isometries_preserve_adjacency() {
+        let a = Node::new(2, 2);
+        for g in Isometry::ALL {
+            for b in a.neighbors() {
+                assert!(g.apply(a).is_adjacent(g.apply(b)), "{g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reflection_is_an_involution_distinct_from_rotations() {
+        let s = Isometry::ALL[6]; // pure reflection
+        assert!(s.reflect);
+        let probe = Node::new(1, 2);
+        assert_eq!(s.apply(s.apply(probe)), probe);
+        // A pure reflection is not any rotation (check on a generic node).
+        for k in 0..6 {
+            let r = Isometry::ALL[k];
+            assert_ne!(s.apply(probe), r.apply(probe));
+        }
+    }
+
+    #[test]
+    fn canonical_isometry_identifies_congruent_shapes() {
+        // An L-tromino and its rotated/reflected/translated copies.
+        let base = vec![Node::new(0, 0), Node::new(1, 0), Node::new(1, 1)];
+        for g in Isometry::ALL {
+            let image: Vec<Node> = base.iter().map(|&n| g.apply(n).translated(7, -3)).collect();
+            assert_eq!(
+                canonical_isometry(&base),
+                canonical_isometry(&image),
+                "{g:?}"
+            );
+        }
+        // A genuinely different shape (straight tromino) canonicalizes
+        // differently.
+        let straight = vec![Node::new(0, 0), Node::new(1, 0), Node::new(2, 0)];
+        assert_ne!(canonical_isometry(&base), canonical_isometry(&straight));
+    }
+
+    #[test]
+    fn canonical_translation_is_minimal_at_origin() {
+        let nodes = vec![Node::new(5, 5), Node::new(6, 5), Node::new(5, 6)];
+        let canon = canonical_translation(&nodes);
+        assert_eq!(canon[0], Node::ORIGIN);
+        assert_eq!(canon.len(), 3);
+    }
+}

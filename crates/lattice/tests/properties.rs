@@ -1,0 +1,142 @@
+//! Property-based tests for the lattice substrate.
+
+use proptest::prelude::*;
+use sops_lattice::{Edge, Node, NodeMap, NodeSet, DIRECTIONS};
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    (-1000i32..1000, -1000i32..1000).prop_map(|(x, y)| Node::new(x, y))
+}
+
+proptest! {
+    /// Hex distance is a metric: symmetric, zero iff equal, triangle
+    /// inequality.
+    #[test]
+    fn distance_is_a_metric(a in node_strategy(), b in node_strategy(), c in node_strategy()) {
+        prop_assert_eq!(a.distance(b), b.distance(a));
+        prop_assert_eq!(a.distance(a), 0);
+        if a != b {
+            prop_assert!(a.distance(b) > 0);
+        }
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+    }
+
+    /// Distance is translation invariant and 60°-rotation invariant.
+    #[test]
+    fn distance_is_invariant(
+        a in node_strategy(),
+        b in node_strategy(),
+        dx in -500i32..500,
+        dy in -500i32..500,
+        k in 0usize..6,
+    ) {
+        prop_assert_eq!(
+            a.translated(dx, dy).distance(b.translated(dx, dy)),
+            a.distance(b)
+        );
+        prop_assert_eq!(a.rotated_by(k).distance(b.rotated_by(k)), a.distance(b));
+    }
+
+    /// Walking any direction sequence and then the opposite sequence in
+    /// reverse returns to the start.
+    #[test]
+    fn walks_are_invertible(start in node_strategy(), steps in prop::collection::vec(0usize..6, 0..50)) {
+        let mut cur = start;
+        for &s in &steps {
+            cur = cur.neighbor(DIRECTIONS[s]);
+        }
+        for &s in steps.iter().rev() {
+            cur = cur.neighbor(DIRECTIONS[s].opposite());
+        }
+        prop_assert_eq!(cur, start);
+    }
+
+    /// Pack/unpack round-trips over the full i32 coordinate range.
+    #[test]
+    fn pack_round_trips(x in any::<i32>(), y in any::<i32>()) {
+        let n = Node::new(x, y);
+        prop_assert_eq!(Node::unpack(n.pack()), n);
+    }
+
+    /// NodeMap agrees with std::HashMap under arbitrary insert/remove
+    /// sequences (the churn pattern of a long chain run).
+    #[test]
+    fn node_map_matches_hashmap_oracle(
+        ops in prop::collection::vec(
+            ((-20i32..20, -20i32..20), any::<bool>(), any::<u32>()),
+            0..400,
+        )
+    ) {
+        let mut map = NodeMap::new();
+        let mut oracle = std::collections::HashMap::new();
+        for ((x, y), is_insert, v) in ops {
+            let n = Node::new(x, y);
+            if is_insert {
+                prop_assert_eq!(map.insert(n, v), oracle.insert(n, v));
+            } else {
+                prop_assert_eq!(map.remove(n), oracle.remove(&n));
+            }
+            prop_assert_eq!(map.len(), oracle.len());
+        }
+        for (&n, v) in &oracle {
+            prop_assert_eq!(map.get(n), Some(v));
+        }
+        prop_assert_eq!(map.iter().count(), oracle.len());
+    }
+
+    /// NodeSet insert/remove/contains semantics.
+    #[test]
+    fn node_set_semantics(nodes in prop::collection::vec((-50i32..50, -50i32..50), 0..100)) {
+        let mut set = NodeSet::new();
+        let mut oracle = std::collections::HashSet::new();
+        for (x, y) in nodes {
+            let n = Node::new(x, y);
+            prop_assert_eq!(set.insert(n), oracle.insert(n));
+        }
+        prop_assert_eq!(set.len(), oracle.len());
+        for &n in &oracle {
+            prop_assert!(set.contains(n));
+            prop_assert!(set.remove(n));
+        }
+        prop_assert!(set.is_empty());
+    }
+
+    /// Edge canonicalization: construction order never matters, and the
+    /// edge set incident to a node is exactly its 6 directions.
+    #[test]
+    fn edge_canonicalization(n in node_strategy(), k in 0usize..6) {
+        let d = DIRECTIONS[k];
+        let m = n.neighbor(d);
+        let e1 = Edge::new(n, m);
+        let e2 = Edge::new(m, n);
+        prop_assert_eq!(e1, e2);
+        prop_assert_eq!(e1.other(n), Some(m));
+        prop_assert_eq!(Edge::from_node_dir(n, d), e1);
+        prop_assert_eq!(Edge::from_node_dir(m, d.opposite()), e1);
+    }
+
+    /// Rotating a direction k times and taking offsets matches rotating
+    /// the offset vector as a node.
+    #[test]
+    fn direction_rotation_consistency(k in 0usize..6, j in 0usize..12) {
+        let d = DIRECTIONS[k];
+        let (x, y) = d.offset();
+        let as_node = Node::new(x, y).rotated_by(j);
+        let (rx, ry) = d.rotated_by(j).offset();
+        prop_assert_eq!((as_node.x, as_node.y), (rx, ry));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Region invariant: interior and boundary edges partition the edges
+    /// incident to the region (6·|V| = 2·|E_int| + |∂Λ|).
+    #[test]
+    fn region_edge_partition(w in 1u32..6, h in 1u32..6) {
+        let region = sops_lattice::region::Region::parallelogram(w, h);
+        let interior = region.interior_edges().len();
+        let boundary = region.boundary_edges().len();
+        prop_assert_eq!(6 * region.len(), 2 * interior + boundary);
+        prop_assert!(region.is_connected());
+    }
+}

@@ -1,0 +1,369 @@
+//! The cluster expansion, Ursell functions, and the Kotecký–Preiss
+//! condition (Theorems 10 and 11 of the paper).
+
+use crate::{EdgeSet, PolymerModel};
+
+/// The Ursell factor of a cluster: for an ordered multiset `X` of polymers
+/// with incompatibility graph `H_X`,
+/// `φ(X) = (1/|X|!) Σ_{G ⊆ H_X connected, spanning} (−1)^{|E(G)|}`.
+///
+/// Takes the adjacency matrix of `H_X` (`adj[i][j]` true when polymers `i`
+/// and `j` are incompatible). Returns 0 when `H_X` is disconnected (such
+/// multisets are not clusters).
+///
+/// # Panics
+///
+/// Panics for clusters of more than 6 polymers (the 2^{m(m−1)/2} subgraph
+/// enumeration).
+#[must_use]
+pub fn ursell_factor(adj: &[Vec<bool>]) -> f64 {
+    let m = adj.len();
+    assert!((1..=6).contains(&m), "Ursell factor limited to 1 ≤ |X| ≤ 6");
+    if m == 1 {
+        return 1.0; // single polymer: empty graph is connected and spanning
+    }
+    // Collect the edges of H_X.
+    let mut edges = Vec::new();
+    for (i, row) in adj.iter().enumerate() {
+        for (j, &incompatible) in row.iter().enumerate().skip(i + 1) {
+            if incompatible {
+                edges.push((i, j));
+            }
+        }
+    }
+    let mut signed_sum = 0.0;
+    for mask in 0u64..(1 << edges.len()) {
+        // Check the chosen subgraph is spanning-connected via union-find.
+        let mut parent: Vec<usize> = (0..m).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        let mut components = m;
+        let mut edge_count = 0;
+        for (k, &(i, j)) in edges.iter().enumerate() {
+            if mask & (1 << k) != 0 {
+                edge_count += 1;
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                    components -= 1;
+                }
+            }
+        }
+        if components == 1 {
+            signed_sum += if edge_count % 2 == 0 { 1.0 } else { -1.0 };
+        }
+    }
+    let factorial: f64 = (1..=m).map(|k| k as f64).product();
+    signed_sum / factorial
+}
+
+/// The truncated cluster expansion of `ln Ξ` over an explicit polymer list:
+/// sums Equation (2) of the paper over all ordered multisets of at most
+/// `max_cluster_size` polymers.
+///
+/// When the Kotecký–Preiss condition holds the truncation error decays
+/// geometrically in the cluster size; tests compare against
+/// `ln` of [`crate::partition::exact_partition_function`].
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size` is 0 or > 4 (tuple enumeration is
+/// `|Γ|^m`).
+#[must_use]
+pub fn truncated_log_partition<M: PolymerModel>(
+    polymers: &[EdgeSet],
+    model: &M,
+    max_cluster_size: usize,
+) -> f64 {
+    assert!(
+        (1..=4).contains(&max_cluster_size),
+        "cluster size must be in 1..=4"
+    );
+    let n = polymers.len();
+    let weights: Vec<f64> = polymers.iter().map(|p| model.weight(p)).collect();
+    let mut incompat = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            incompat[i][j] = i == j || !model.compatible(&polymers[i], &polymers[j]);
+        }
+    }
+
+    let mut total = 0.0;
+    let mut tuple = vec![0usize; 1];
+    for m in 1..=max_cluster_size {
+        tuple.resize(m, 0);
+        tuple.iter_mut().for_each(|t| *t = 0);
+        'tuples: loop {
+            // Incompatibility graph of this ordered multiset.
+            let adj: Vec<Vec<bool>> = (0..m)
+                .map(|i| {
+                    (0..m)
+                        .map(|j| i != j && incompat[tuple[i]][tuple[j]])
+                        .collect()
+                })
+                .collect();
+            if connected(&adj) {
+                let phi = ursell_factor(&adj);
+                if phi != 0.0 {
+                    let w: f64 = tuple.iter().map(|&i| weights[i]).product();
+                    total += phi * w;
+                }
+            }
+            // Advance the tuple (odometer).
+            let mut k = m;
+            loop {
+                if k == 0 {
+                    break 'tuples;
+                }
+                k -= 1;
+                tuple[k] += 1;
+                if tuple[k] < n {
+                    break;
+                }
+                tuple[k] = 0;
+            }
+        }
+        if n == 0 {
+            break;
+        }
+    }
+    total
+}
+
+fn connected(adj: &[Vec<bool>]) -> bool {
+    let m = adj.len();
+    let mut seen = vec![false; m];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(u) = stack.pop() {
+        for v in 0..m {
+            if adj[u][v] && !seen[v] {
+                seen[v] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == m
+}
+
+/// The Kotecký–Preiss sum of Theorem 11's hypothesis at one edge:
+/// `Σ_{ξ ∋ e} |w(ξ)| e^{c|[ξ]|}` over the supplied polymers (all polymers
+/// containing the reference edge, up to the caller's enumeration cutoff).
+///
+/// The hypothesis (Equation 3) requires this to be ≤ `c`; add
+/// [`kp_tail_bound`] for the polymers beyond the cutoff.
+#[must_use]
+pub fn kp_sum<M: PolymerModel>(polymers_at_edge: &[EdgeSet], model: &M, c: f64) -> f64 {
+    polymers_at_edge
+        .iter()
+        .map(|p| model.weight(p).abs() * (c * model.closure_size(p) as f64).exp())
+        .sum()
+}
+
+/// A geometric tail bound for the polymers above the enumeration cutoff:
+/// if at most `growth^k` polymers of size `k` contain a fixed edge, each
+/// with `|w| ≤ activity^k` and `|[ξ]| ≤ closure_ratio · k`, the polymers of
+/// size > `cutoff` contribute at most
+/// `Σ_{k > cutoff} (growth · activity · e^{c·closure_ratio})^k`.
+///
+/// Returns `f64::INFINITY` when the geometric ratio is ≥ 1.
+#[must_use]
+pub fn kp_tail_bound(cutoff: usize, growth: f64, activity: f64, closure_ratio: f64, c: f64) -> f64 {
+    let r = growth * activity.abs() * (c * closure_ratio).exp();
+    if r >= 1.0 {
+        return f64::INFINITY;
+    }
+    r.powi(cutoff as i32 + 1) / (1.0 - r)
+}
+
+/// Fits the volume/surface decomposition of Theorem 11 to exact data: given
+/// `(|Λ|, |∂Λ|, ln Ξ_Λ)` triples for nested regions, estimates the volume
+/// density `ψ` from the two largest regions and returns `(ψ, c_needed)`
+/// where `c_needed = max |ln Ξ_Λ − ψ|Λ|| / |∂Λ|` is the smallest surface
+/// constant making the sandwich `ψ|Λ| − c|∂Λ| ≤ ln Ξ_Λ ≤ ψ|Λ| + c|∂Λ|`
+/// hold on the data.
+///
+/// # Panics
+///
+/// Panics with fewer than two data points.
+#[must_use]
+pub fn volume_surface_fit(data: &[(usize, usize, f64)]) -> (f64, f64) {
+    assert!(data.len() >= 2, "need at least two regions to fit ψ");
+    let mut sorted = data.to_vec();
+    sorted.sort_by_key(|&(vol, _, _)| vol);
+    let (v1, _, l1) = sorted[sorted.len() - 2];
+    let (v2, _, l2) = sorted[sorted.len() - 1];
+    assert!(v2 > v1, "regions must have distinct volumes");
+    let psi = (l2 - l1) / (v2 - v1) as f64;
+    let c_needed = sorted
+        .iter()
+        .map(|&(vol, surf, ln_xi)| (ln_xi - psi * vol as f64).abs() / surf as f64)
+        .fold(0.0, f64::max);
+    (psi, c_needed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CutLoopModel, EvenSubgraphModel};
+
+    use sops_lattice::region::Region;
+    use sops_lattice::{Edge, Node};
+
+    #[test]
+    fn ursell_factors_match_known_values() {
+        // Single polymer: 1.
+        assert_eq!(ursell_factor(&[vec![false]]), 1.0);
+        // Pair of incompatible polymers: (1/2!)·(−1) = −1/2.
+        let pair = vec![vec![false, true], vec![true, false]];
+        assert!((ursell_factor(&pair) + 0.5).abs() < 1e-15);
+        // Triangle of mutual incompatibility: subgraphs spanning-connected:
+        // 3 paths (2 edges, +1 each) + 1 triangle (3 edges, −1): sum = 3·1 − 1 = 2;
+        // φ = 2/3! = 1/3.
+        let tri = vec![
+            vec![false, true, true],
+            vec![true, false, true],
+            vec![true, true, false],
+        ];
+        assert!((ursell_factor(&tri) - 1.0 / 3.0).abs() < 1e-15);
+        // Path of three (ends compatible): only the full path spans: (−1)² = 1; φ = 1/6.
+        let path = vec![
+            vec![false, true, false],
+            vec![true, false, true],
+            vec![false, true, false],
+        ];
+        assert!((ursell_factor(&path) - 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cluster_expansion_converges_to_exact_log_partition() {
+        // Even model in a small hexagon at a subcritical activity: the
+        // truncated expansion approaches ln Ξ as the cluster size grows.
+        let region = Region::hexagon(1);
+        let model = EvenSubgraphModel::new(0.02);
+        let polymers = model.polymers_in(&region);
+        let exact = crate::partition::even_partition_function(&region, 0.02).ln();
+        let mut errors = Vec::new();
+        for m in 1..=3 {
+            let approx = truncated_log_partition(&polymers, &model, m);
+            errors.push((approx - exact).abs());
+        }
+        assert!(errors[1] < errors[0]);
+        assert!(errors[2] < errors[1]);
+        assert!(errors[2] < 1e-8, "3-cluster error {}", errors[2]);
+    }
+
+    #[test]
+    fn cluster_expansion_handles_negative_activities() {
+        let region = Region::hexagon(1);
+        let model = EvenSubgraphModel::new(-0.02);
+        let polymers = model.polymers_in(&region);
+        let exact = crate::partition::even_partition_function(&region, -0.02);
+        assert!(exact > 0.0, "Ξ stays positive at small negative activity");
+        let approx = truncated_log_partition(&polymers, &model, 3);
+        assert!((approx - exact.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn kp_condition_holds_for_cut_loops_above_the_paper_threshold() {
+        // Theorem 13's regime: γ > 4^{5/4}, c = 10⁻⁴ (the paper's Lemma 12
+        // uses c = 0.0001). Enumerate loops with source size ≤ 3.
+        let gamma = 5.66; // just above 4^{5/4} ≈ 5.657
+        let c = 1e-4;
+        let model = CutLoopModel::new(gamma);
+        let edge = Edge::new(Node::new(0, 0), Node::new(1, 0));
+        // Sources of size ≤ 3 generate every loop of length ≤ 13 (a source
+        // of 4 vertices already has boundary ≥ 14).
+        let loops = model.polymers_cutting(edge, 3);
+        assert!(loops.iter().all(|l| l.len() <= 14));
+        let head = kp_sum(&loops, &model, c);
+        // Loops are cycles of the hexagonal dual lattice (degree 3), whose
+        // cycles through a fixed edge number < 2^k at length k; bound the
+        // length ≥ 14 remainder geometrically.
+        let tail = kp_tail_bound(13, 2.0, 1.0 / gamma, 1.0, c);
+        assert!(head + tail <= c, "KP sum {head} + tail {tail} > c = {c}");
+    }
+
+    #[test]
+    fn kp_condition_fails_for_cut_loops_at_small_gamma() {
+        // At γ = 2 the head of the sum alone already exceeds c = 10⁻⁴ —
+        // consistent with the paper needing a different expansion there.
+        let model = CutLoopModel::new(2.0);
+        let edge = Edge::new(Node::new(0, 0), Node::new(1, 0));
+        let loops = model.polymers_cutting(edge, 2);
+        assert!(kp_sum(&loops, &model, 1e-4) > 1e-4);
+    }
+
+    #[test]
+    fn kp_condition_holds_for_even_polymers_in_the_integration_window() {
+        // Theorem 15's regime: γ ∈ (79/81, 81/79) ⇒ |x| < 1/80, a = 10⁻⁵.
+        let a = 1e-5;
+        let model = EvenSubgraphModel::for_gamma(81.0 / 79.0);
+        let edge = Edge::new(Node::new(0, 0), Node::new(1, 0));
+        let cycles = model.cycles_through(edge, 5);
+        let head = kp_sum(&cycles, &model, a);
+        // Even connected subgraphs with ≥ 6 edges: growth < 5 per edge,
+        // closure ≤ 10 edges per polymer edge.
+        let tail = kp_tail_bound(5, 5.0, model.activity(), 10.0, a);
+        assert!(head + tail <= a, "KP sum {head} + tail {tail} > a = {a}");
+    }
+
+    #[test]
+    fn theorem11_volume_surface_sandwich_for_even_model() {
+        // Exact Ξ_Λ on growing parallelograms; the fitted surface constant
+        // must be tiny at the paper's activity (|x| = 1/80), consistent
+        // with Theorem 11's c.
+        let model = EvenSubgraphModel::for_gamma(81.0 / 79.0);
+        let mut data = Vec::new();
+        for k in 2..=6u32 {
+            let region = Region::parallelogram(k, 2);
+            let xi = crate::partition::even_partition_function(&region, model.activity());
+            data.push((
+                region.interior_edges().len(),
+                region.boundary_edges().len(),
+                xi.ln(),
+            ));
+        }
+        let (psi, c_needed) = volume_surface_fit(&data);
+        assert!(psi.abs() < 1e-4, "ψ = {psi}");
+        assert!(c_needed < 1e-5, "c_needed = {c_needed}");
+    }
+
+    #[test]
+    fn lemma12_volume_surface_sandwich_for_cut_loops() {
+        // Lemma 12's shape, verified for the loop model: exact Ξ over the
+        // cut-loop polymers of growing regions splits into ψ|Λ| ± c|∂Λ|
+        // with c at or below the paper's 10⁻⁴ at γ just above 4^{5/4}.
+        use crate::partition::exact_partition_function;
+        let model = CutLoopModel::new(5.66);
+        let mut data = Vec::new();
+        for k in 2..=4u32 {
+            let region = Region::parallelogram(k, 2);
+            // Sources of ≤ 2 vertices cover every loop that matters at this
+            // γ (size-3 sources contribute ≤ γ⁻¹² ≈ 1e−9 per loop).
+            let polymers = model.polymers_in(&region, 2);
+            let xi = exact_partition_function(&polymers, &model);
+            data.push((
+                region.interior_edges().len(),
+                region.boundary_edges().len(),
+                xi.ln(),
+            ));
+        }
+        let (psi, c_needed) = volume_surface_fit(&data);
+        assert!(psi.abs() < 1e-4, "ψ = {psi}");
+        assert!(c_needed < 1e-4, "c_needed = {c_needed}");
+    }
+
+    #[test]
+    fn tail_bound_is_infinite_at_supercritical_ratio() {
+        assert!(kp_tail_bound(5, 4.0, 0.5, 1.0, 0.1).is_infinite());
+        assert!(kp_tail_bound(5, 4.0, 0.01, 1.0, 0.1) < 1e-7);
+    }
+}

@@ -1,0 +1,55 @@
+//! Polymer models and the cluster expansion — the statistical-physics
+//! machinery behind the paper's compression proofs (§4).
+//!
+//! The paper's Theorems 13 and 15 hinge on rewriting particle-system
+//! partition functions as **polymer partition functions**
+//! `Ξ = Σ_{compatible Γ′} Π_{ξ∈Γ′} w(ξ)`, proving the **Kotecký–Preiss
+//! condition** so the **cluster expansion** of `ln Ξ` converges
+//! (Theorem 10), and then splitting `ln Ξ_Λ` into a *volume* term `ψ|Λ|`
+//! and a *surface* term `±c|∂Λ|` (Theorem 11). This crate implements all
+//! of that concretely and verifiably:
+//!
+//! * [`model`] — the abstract [`model::PolymerModel`] trait and the paper's
+//!   two instantiations: **cut loops** (minimal edge cut sets `∂S` around
+//!   connected vertex sets, weight `γ^{−|ξ|}`, compatible when
+//!   edge-disjoint — the large-`γ` regime of Theorem 13) and **even
+//!   subgraphs** (connected even-degree edge sets, weight `x^{|ξ|}`,
+//!   compatible when vertex-disjoint — the high-temperature regime of
+//!   Theorem 15);
+//! * [`partition`] — exact evaluation of `Ξ_Λ` by backtracking over
+//!   compatible polymer collections;
+//! * [`cluster`] — Ursell functions and the truncated cluster expansion of
+//!   `ln Ξ`, plus numeric verification of the Kotecký–Preiss condition
+//!   (Equation 3 of the paper) and of Theorem 11's volume/surface sandwich;
+//! * [`ising`] — the Ising model on finite triangular regions with its
+//!   exact high-temperature (even-subgraph) expansion, and the mapping from
+//!   the paper's color weights `γ^{−h(σ)}` to Ising form.
+//!
+//! # Example: the high-temperature identity behind Theorem 15
+//!
+//! ```
+//! use sops_lattice::region::Region;
+//! use sops_polymer::ising;
+//!
+//! // Σ over 2-colorings of a small region of γ^{−h} equals the
+//! // even-subgraph (high-temperature) expansion exactly.
+//! let region = Region::hexagon(1);
+//! let gamma = 81.0 / 79.0;
+//! let direct = ising::color_partition_function_direct(&region, gamma);
+//! let expansion = ising::color_partition_function_ht(&region, gamma);
+//! assert!((direct - expansion).abs() / direct < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+mod edgeset;
+pub mod hardcore;
+pub mod ising;
+pub mod model;
+pub mod partition;
+pub mod potts;
+
+pub use edgeset::EdgeSet;
+pub use model::{CutLoopModel, EvenSubgraphModel, PolymerModel};

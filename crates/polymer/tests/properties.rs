@@ -1,0 +1,104 @@
+//! Property-based tests for the polymer machinery.
+
+use proptest::prelude::*;
+use sops_lattice::region::Region;
+use sops_lattice::{Edge, Node};
+use sops_polymer::cluster::{kp_sum, truncated_log_partition, ursell_factor};
+use sops_polymer::partition::{even_partition_function, exact_partition_function};
+use sops_polymer::{CutLoopModel, EvenSubgraphModel, PolymerModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The Ursell factor of an ordered cluster is invariant under
+    /// relabeling (permutation of the polymers).
+    #[test]
+    fn ursell_is_permutation_invariant(edges in prop::collection::vec(any::<bool>(), 6)) {
+        // Build a 4-vertex incompatibility graph from 6 possible edges,
+        // forcing connectivity by always including the path 0-1-2-3.
+        let mut adj = vec![vec![false; 4]; 4];
+        let pairs = [(0, 1), (1, 2), (2, 3), (0, 2), (0, 3), (1, 3)];
+        for (k, &(i, j)) in pairs.iter().enumerate() {
+            let present = k < 3 || edges[k];
+            adj[i][j] = present;
+            adj[j][i] = present;
+        }
+        let base = ursell_factor(&adj);
+        // A permutation of {0,1,2,3}.
+        let perm = [2usize, 0, 3, 1];
+        let permuted: Vec<Vec<bool>> = (0..4)
+            .map(|i| (0..4).map(|j| adj[perm[i]][perm[j]]).collect())
+            .collect();
+        prop_assert!((base - ursell_factor(&permuted)).abs() < 1e-14);
+    }
+
+    /// Even-subgraph partition functions factorize over disjoint unions:
+    /// two far-apart regions have Ξ equal to the product of their Ξ's.
+    #[test]
+    fn even_partition_function_factorizes(x in -0.05f64..0.05, w in 2u32..4, h in 2u32..3) {
+        let near = Region::parallelogram(w, h);
+        let far = near.translated(100, 0);
+        let both = Region::from_nodes(near.iter().chain(far.iter()));
+        let xi_near = even_partition_function(&near, x);
+        let xi_far = even_partition_function(&far, x);
+        let xi_both = even_partition_function(&both, x);
+        prop_assert!(
+            (xi_both - xi_near * xi_far).abs() < 1e-12 * xi_both.abs().max(1.0)
+        );
+        // Translation invariance on its own.
+        prop_assert!((xi_near - xi_far).abs() < 1e-14);
+    }
+
+    /// The truncated cluster expansion is monotone-improving in cluster
+    /// size at small activities (error at m = 2 ≤ error at m = 1).
+    #[test]
+    fn cluster_truncation_improves(x in 0.005f64..0.03) {
+        let region = Region::parallelogram(3, 2);
+        let model = EvenSubgraphModel::new(x);
+        let polymers = model.polymers_in(&region);
+        let exact = even_partition_function(&region, x).ln();
+        let e1 = (truncated_log_partition(&polymers, &model, 1) - exact).abs();
+        let e2 = (truncated_log_partition(&polymers, &model, 2) - exact).abs();
+        prop_assert!(e2 <= e1 + 1e-15);
+    }
+
+    /// Cut-loop weights decay with γ, so the KP sum is decreasing in γ.
+    #[test]
+    fn kp_sum_monotone_in_gamma(g1 in 2.0f64..5.0, delta in 0.5f64..3.0) {
+        let edge = Edge::new(Node::new(0, 0), Node::new(1, 0));
+        let (lo, hi) = (g1, g1 + delta);
+        let m_lo = CutLoopModel::new(lo);
+        let m_hi = CutLoopModel::new(hi);
+        // Same polymer set; weights strictly smaller at larger γ.
+        let loops = m_lo.polymers_cutting(edge, 2);
+        prop_assert!(kp_sum(&loops, &m_hi, 1e-4) < kp_sum(&loops, &m_lo, 1e-4));
+    }
+
+    /// Exact polymer partition functions with nonnegative weights are ≥ 1
+    /// and monotone in the polymer set.
+    #[test]
+    fn partition_function_monotone_in_polymer_set(x in 0.0f64..0.4, keep in 1usize..6) {
+        let model = EvenSubgraphModel::new(x);
+        let edge = Edge::new(Node::new(0, 0), Node::new(1, 0));
+        let all = model.cycles_through(edge, 4);
+        let keep = keep.min(all.len());
+        let some = &all[..keep];
+        let xi_some = exact_partition_function(some, &model);
+        let xi_all = exact_partition_function(&all, &model);
+        prop_assert!(xi_some >= 1.0);
+        prop_assert!(xi_all + 1e-12 >= xi_some);
+    }
+
+    /// Boundary sizes of k-vertex sources: |∂S| = 6k − 2·(internal edges),
+    /// always even, at least the hexagonal-isoperimetric minimum 6.
+    #[test]
+    fn cut_loop_sizes_are_even_and_at_least_six(k in 1usize..4) {
+        let model = CutLoopModel::new(6.0);
+        let edge = Edge::new(Node::new(0, 0), Node::new(1, 0));
+        for polymer in model.polymers_cutting(edge, k) {
+            prop_assert!(polymer.len() >= 6);
+            prop_assert_eq!(polymer.len() % 2, 0);
+            prop_assert!(model.weight(&polymer) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Lemma 8, constructively: build an explicit sequence of chain-valid
+//! moves that straightens and sorts a particle system, then replay it.
+//!
+//! ```sh
+//! cargo run --release --example irreducibility
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sops::analysis::render;
+use sops::core::{construct, reconfigure, Configuration};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(54);
+    let nodes = construct::hexagonal_spiral(24);
+    let config = Configuration::new(construct::bicolor_random(nodes, 12, &mut rng))?;
+
+    println!("initial configuration:\n{}", render::ascii(&config));
+
+    let steps = reconfigure::line_witness(&config)?;
+    let moves = steps
+        .iter()
+        .filter(|s| matches!(s, reconfigure::Step::Move { .. }))
+        .count();
+    println!(
+        "witness found: {} steps ({} moves, {} swaps), every one valid under\n\
+         Properties 4/5 and the e ≠ 5 rule of Algorithm 1\n",
+        steps.len(),
+        moves,
+        steps.len() - moves
+    );
+
+    let mut work = config.clone();
+    reconfigure::apply(&mut work, &steps); // re-validates every step
+    println!("after replaying the witness:\n{}", render::ascii(&work));
+
+    let colors: Vec<_> = config.particles().map(|(_, c)| c).collect();
+    assert_eq!(
+        work.canonical_form(),
+        reconfigure::sorted_line_form(&colors)
+    );
+    println!(
+        "the system is the color-sorted straight line — the canonical state\n\
+         of the irreducibility proof. Since every step is reversible\n\
+         (Lemma 7), any two configurations are connected through it."
+    );
+    Ok(())
+}

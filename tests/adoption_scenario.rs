@@ -1,0 +1,61 @@
+//! A downstream-user scenario exercising the high-level APIs together:
+//! build a system, sweep the phase diagram, certify the separated corner,
+//! extract its interface geometry, and replay an irreducibility witness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sops::analysis::{interface, moments, sweep, Phase, PhaseThresholds};
+use sops::core::{construct, reconfigure, Color, Configuration};
+
+#[test]
+fn full_pipeline_from_seed_to_certified_phases() {
+    let mut rng = StdRng::seed_from_u64(2019);
+    let nodes = construct::hexagonal_spiral(36);
+    let seed = Configuration::new(construct::bicolor_random(nodes, 18, &mut rng)).unwrap();
+
+    // 1. Sweep a 2×2 corner grid of the Figure 3 diagram.
+    let diagram = sweep::phase_diagram(
+        &seed,
+        &[0.8, 4.0],
+        &[1.0, 4.0],
+        300_000,
+        PhaseThresholds::default(),
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(diagram.cell(1, 1).phase, Phase::CompressedSeparated);
+
+    // 2. Re-run the separated corner to get a configuration to inspect.
+    let chain = sops::core::SeparationChain::new(sops::core::Bias::new(4.0, 4.0).unwrap());
+    let mut config = seed.clone();
+    sops::chains::MarkovChain::run(&chain, &mut config, 600_000, &mut rng);
+
+    // 3. Its interface should be short and its color centroids split.
+    let summary = interface::summarize(&config);
+    assert!(summary.total_length as u64 == config.hetero_edge_count());
+    assert!(summary.total_length < 40, "interface {}", summary.total_length);
+    let split = moments::centroid_separation(&config, Color::C1, Color::C2).unwrap();
+    assert!(split > 0.5, "centroid separation {split}");
+
+    // 4. And from there, an explicit witness reaches the sorted line.
+    let steps = reconfigure::line_witness(&config).unwrap();
+    let mut work = config.clone();
+    reconfigure::apply(&mut work, &steps);
+    let colors: Vec<Color> = config.particles().map(|(_, c)| c).collect();
+    assert_eq!(work.canonical_form(), reconfigure::sorted_line_form(&colors));
+}
+
+#[test]
+fn hardcore_and_potts_reference_models_are_consistent() {
+    use sops::lattice::region::Region;
+    use sops::polymer::{hardcore, potts};
+
+    let region = Region::parallelogram(3, 2);
+    // Hard-core at fugacity 1 counts independent sets; Potts at γ = 1
+    // counts colorings — two independent sanity anchors for the region
+    // graph the polymer machinery sees.
+    let ind = hardcore::independent_set_count(&region);
+    assert!(ind > 1);
+    let z = potts::potts_partition_function_direct(&region, 1.0, 3);
+    assert!((z - 3f64.powi(region.len() as i32)).abs() < 1e-6);
+}

@@ -1,0 +1,94 @@
+//! The PODC '16 compression dichotomy, reproduced through the γ = 1
+//! special case: λ > 2 + √2 provably compresses, λ < 2.17 provably
+//! expands. Our separation chain must inherit both regimes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sops::analysis::alpha_ratio;
+use sops::chains::MarkovChain;
+use sops::core::{construct, CompressionChain};
+
+fn stationary_alpha(lambda: f64, n: usize, steps: u64, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut config = construct::line_monochromatic(n).unwrap();
+    let chain = CompressionChain::new(lambda).unwrap();
+    chain.run(&mut config, steps, &mut rng);
+    // Average the tail to damp fluctuations.
+    let mut acc = 0.0;
+    for _ in 0..20 {
+        chain.run(&mut config, steps / 20, &mut rng);
+        acc += alpha_ratio(&config);
+    }
+    acc / 20.0
+}
+
+#[test]
+fn supercritical_lambda_compresses_from_a_line() {
+    // λ = 4 > 2 + √2 ≈ 3.414: the line must collapse to a near-hexagon.
+    let alpha = stationary_alpha(4.0, 50, 1_500_000, 1);
+    assert!(alpha < 2.0, "λ = 4 failed to compress: α = {alpha:.2}");
+}
+
+#[test]
+fn subcritical_lambda_stays_expanded() {
+    // λ = 1 < 2.17: stationary measure is dominated by high-perimeter
+    // configurations; α stays far above the compressed regime.
+    let alpha = stationary_alpha(1.0, 50, 1_500_000, 2);
+    assert!(alpha > 2.5, "λ = 1 unexpectedly compressed: α = {alpha:.2}");
+}
+
+#[test]
+fn compression_strengthens_with_lambda() {
+    let a2 = stationary_alpha(2.0, 40, 1_000_000, 3);
+    let a6 = stationary_alpha(6.0, 40, 1_000_000, 3);
+    assert!(
+        a6 < a2,
+        "compression should strengthen with λ: α(2) = {a2:.2}, α(6) = {a6:.2}"
+    );
+}
+
+#[test]
+fn monochromatic_separation_chain_equals_compression_chain_statistically() {
+    // On a single color, SeparationChain(λ, γ) must behave identically to
+    // CompressionChain(λ) for any γ: every ratio exponent involving γ has
+    // the same color on both sides. Check the two reach the same
+    // stationary perimeter distribution summary under the same seed.
+    use sops::core::{Bias, SeparationChain};
+    let n = 30;
+    let steps = 400_000;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut a = construct::line_monochromatic(n).unwrap();
+    CompressionChain::new(3.0)
+        .unwrap()
+        .run(&mut a, steps, &mut rng);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut b = construct::line_monochromatic(n).unwrap();
+    // γ = 9 is irrelevant on a monochromatic system *except* through the
+    // move filter exponent e'_i − e_i = e' − e, making the effective bias
+    // λγ = 27; compare instead with γ = 1 for exact equality.
+    SeparationChain::new(Bias::new(3.0, 1.0).unwrap()).run(&mut b, steps, &mut rng);
+
+    // Identical seeds + identical kernels ⇒ identical trajectories.
+    assert_eq!(a.canonical_form(), b.canonical_form());
+}
+
+#[test]
+fn monochromatic_gamma_acts_as_extra_lambda() {
+    // On one color, e'_i − e_i = e' − e, so (λ, γ) ≡ (λγ, 1). Verify the
+    // trajectory identity for λγ matched pairs under the same seed.
+    use sops::core::{Bias, SeparationChain};
+    let n = 25;
+    let steps = 200_000;
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut a = construct::line_monochromatic(n).unwrap();
+    SeparationChain::new(Bias::new(2.0, 3.0).unwrap()).run(&mut a, steps, &mut rng);
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut b = construct::line_monochromatic(n).unwrap();
+    SeparationChain::new(Bias::new(6.0, 1.0).unwrap()).run(&mut b, steps, &mut rng);
+
+    assert_eq!(a.canonical_form(), b.canonical_form());
+}

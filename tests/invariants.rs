@@ -1,0 +1,181 @@
+//! Property-based invariant tests for the chain and its substrates
+//! (proptest over random seeds, parameters, and system sizes).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sops::chains::MarkovChain;
+use sops::core::{construct, properties, Bias, Color, Configuration, SeparationChain};
+use sops::lattice::{Node, DIRECTIONS};
+
+fn random_config(n: usize, n1: usize, seed: u64) -> Configuration {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes = construct::hexagonal_spiral(n);
+    Configuration::new(construct::bicolor_random(nodes, n1, &mut rng)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Connectivity, hole-freeness, particle count, and color counts are
+    /// invariant under arbitrary runs at arbitrary (λ, γ).
+    #[test]
+    fn chain_preserves_invariants(
+        seed in 0u64..10_000,
+        n in 5usize..40,
+        lambda in 0.5f64..6.0,
+        gamma in 0.5f64..6.0,
+        swaps in any::<bool>(),
+    ) {
+        let n1 = n / 2;
+        let mut config = random_config(n, n1, seed);
+        let colors_before = config.color_counts();
+        let bias = Bias::new(lambda, gamma).unwrap();
+        let chain = if swaps {
+            SeparationChain::new(bias)
+        } else {
+            SeparationChain::without_swaps(bias)
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        chain.run(&mut config, 3_000, &mut rng);
+
+        prop_assert!(config.is_connected());
+        prop_assert!(!config.has_holes());
+        prop_assert_eq!(config.len(), n);
+        prop_assert_eq!(config.color_counts(), colors_before);
+    }
+
+    /// The incrementally maintained observables never drift from a from-
+    /// scratch recount, and the perimeter identity holds throughout.
+    #[test]
+    fn incremental_observables_match_recount(
+        seed in 0u64..10_000,
+        n in 5usize..30,
+        gamma in 0.5f64..5.0,
+    ) {
+        let mut config = random_config(n, n / 3, seed);
+        let chain = SeparationChain::new(Bias::new(3.0, gamma).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..40 {
+            chain.run(&mut config, 100, &mut rng);
+            let (e, h) = config.recount();
+            prop_assert_eq!(config.edge_count(), e);
+            prop_assert_eq!(config.hetero_edge_count(), h);
+            prop_assert_eq!(config.edge_count(), 3 * n as u64 - config.perimeter() - 3);
+            prop_assert_eq!(config.boundary_walk_length(), config.perimeter());
+        }
+    }
+
+    /// Lemma 7 (reversibility), property-level: whenever a single-particle
+    /// move from ℓ to ℓ′ is allowed, the reverse move from ℓ′ to ℓ is
+    /// allowed in the resulting configuration.
+    #[test]
+    fn allowed_moves_are_reversible(
+        seed in 0u64..10_000,
+        n in 4usize..25,
+    ) {
+        let config = random_config(n, n / 2, seed);
+        let chain = SeparationChain::new(Bias::new(2.0, 2.0).unwrap());
+        for p in 0..config.len() {
+            let from = config.position_of(p);
+            for dir in DIRECTIONS {
+                if !chain.move_valid(&config, from, dir) {
+                    continue;
+                }
+                let to = from.neighbor(dir);
+                let mut moved = config.clone();
+                moved.move_particle(p, to);
+                let back = to.direction_to(from).unwrap();
+                prop_assert!(
+                    chain.move_valid(&moved, to, back),
+                    "move {from}→{to} is not reversible (seed {seed})"
+                );
+            }
+        }
+    }
+
+    /// Swap moves preserve the multiset of occupied nodes and the total
+    /// edge count; double swap is the identity.
+    #[test]
+    fn swaps_are_involutions(
+        seed in 0u64..10_000,
+        n in 4usize..25,
+    ) {
+        let config = random_config(n, n / 2, seed);
+        for p in 0..config.len() {
+            let a = config.position_of(p);
+            for dir in DIRECTIONS {
+                let b = a.neighbor(dir);
+                if !config.is_occupied(b) {
+                    continue;
+                }
+                let mut swapped = config.clone();
+                swapped.swap(a, b);
+                prop_assert_eq!(swapped.edge_count(), config.edge_count());
+                let (_, h) = swapped.recount();
+                prop_assert_eq!(swapped.hetero_edge_count(), h);
+                swapped.swap(a, b);
+                prop_assert_eq!(swapped.canonical_form(), config.canonical_form());
+            }
+        }
+    }
+
+    /// The min-cut separation certificate is self-consistent on arbitrary
+    /// colorings: region + outside partition the system and the counts add
+    /// up to the global color counts.
+    #[test]
+    fn separation_certificates_partition_the_system(
+        seed in 0u64..10_000,
+        n in 6usize..40,
+        n1_frac in 0.2f64..0.8,
+    ) {
+        let n1 = ((n as f64) * n1_frac) as usize;
+        let config = random_config(n, n1, seed);
+        for cert in sops::analysis::separation_profile(&config, Color::C1) {
+            prop_assert_eq!(cert.region_size + cert.outside_size, n);
+            prop_assert_eq!(cert.c1_in_region + cert.c1_outside, n1);
+            prop_assert_eq!(cert.region.len(), cert.region_size);
+        }
+    }
+
+    /// Property 4 and 5 are mutually exclusive on every occupancy pattern
+    /// (they require |S| ≥ 1 and |S| = 0 respectively).
+    #[test]
+    fn properties_4_and_5_are_disjoint(bits in 0u16..256) {
+        let occ: [bool; 8] = core::array::from_fn(|i| bits & (1 << i) != 0);
+        prop_assert!(!(properties::property4(occ) && properties::property5(occ)));
+    }
+
+    /// Canonical forms are invariant under arbitrary translations.
+    #[test]
+    fn canonical_form_translation_invariance(
+        seed in 0u64..10_000,
+        n in 2usize..20,
+        dx in -50i32..50,
+        dy in -50i32..50,
+    ) {
+        let config = random_config(n, n / 2, seed);
+        let translated = Configuration::new(
+            config.particles().map(|(nd, c)| (Node::new(nd.x + dx, nd.y + dy), c)),
+        )
+        .unwrap();
+        prop_assert_eq!(config.canonical_form(), translated.canonical_form());
+    }
+}
+
+/// Deterministic regression: the amoebot system and the centralized chain
+/// agree on conservation laws after long runs.
+#[test]
+fn amoebot_conserves_particles_and_colors() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let config = random_config(24, 11, 99);
+    let colors_before = config.color_counts();
+    let mut system = sops::amoebot::AmoebotSystem::new(&config, Bias::new(4.0, 4.0).unwrap(), true);
+    for _ in 0..200_000 {
+        system.activate_random(&mut rng);
+    }
+    let after = system.serialized_configuration();
+    assert_eq!(after.len(), 24);
+    assert_eq!(after.color_counts(), colors_before);
+    assert!(after.is_connected());
+}

