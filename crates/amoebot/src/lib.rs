@@ -15,7 +15,11 @@
 //!   [`AmoebotSystem::activate`] call is one atomic action: bounded local
 //!   computation, at most one expansion or contraction;
 //! * [`schedule`] — asynchronous activation schedulers (uniform random and
-//!   shuffled round-robin).
+//!   shuffled round-robin);
+//! * [`fault`] — fault injection over any scheduler: crash-stop particles,
+//!   starvation windows, dropped activations, and forcibly aborted
+//!   expansions, for measuring graceful degradation under unfair
+//!   adversaries.
 //!
 //! # The local rule
 //!
@@ -69,11 +73,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 mod particle;
 pub mod schedule;
 mod system;
 pub mod view;
 
+pub use fault::{FaultPlan, FaultStats, FaultySchedule};
 pub use particle::{Amoebot, ParticleState};
 pub use system::{Action, AmoebotSystem};
 pub use view::{LocalView, PortView};

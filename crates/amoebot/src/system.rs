@@ -230,6 +230,27 @@ impl AmoebotSystem {
         }
     }
 
+    /// Forcibly aborts particle `id`'s pending expansion, contracting it
+    /// back to its origin without evaluating the Metropolis filter.
+    ///
+    /// This models an externally aborted move (fault injection: a particle
+    /// loses its expansion mid-handshake). Contracting back is always safe:
+    /// it returns the system to the pre-expansion state, which the
+    /// serialization argument already treats as "move never happened".
+    /// Returns `false` (and does nothing) when the particle is contracted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn abort_expansion(&mut self, id: usize) -> bool {
+        if !self.particles[id].is_expanded() {
+            return false;
+        }
+        self.occupancy.remove(self.particles[id].head());
+        self.particles[id].contract_back();
+        true
+    }
+
     /// Whether an expanded particle (other than `exclude`) occupies a node
     /// adjacent to `a` or `b`, or `a`/`b` themselves.
     fn expanded_particle_near(&self, a: Node, b: Node, exclude: usize) -> bool {

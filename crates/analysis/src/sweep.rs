@@ -105,8 +105,7 @@ mod tests {
     fn tiny_sweep_reproduces_the_corner_phases() {
         let mut rng = StdRng::seed_from_u64(0);
         let nodes = construct::hexagonal_spiral(40);
-        let seed =
-            Configuration::new(construct::bicolor_random(nodes, 20, &mut rng)).unwrap();
+        let seed = Configuration::new(construct::bicolor_random(nodes, 20, &mut rng)).unwrap();
         let diagram = phase_diagram(
             &seed,
             &[0.7, 4.0],

@@ -1,14 +1,16 @@
-//! Criterion micro-benchmarks over every performance-relevant code path:
-//! chain steps, property checks, observables, separation certificates,
-//! enumeration, polymer partition functions, and the distributed layer.
+//! Micro-benchmarks over every performance-relevant code path: chain steps,
+//! property checks, observables, separation certificates, enumeration,
+//! polymer partition functions, and the distributed layer.
 //!
-//! Each group also exercises the corresponding experiment path end-to-end
-//! at reduced size, so `cargo bench` touches every figure's machinery.
+//! Hand-rolled harness (criterion is unavailable offline): each benchmark
+//! is warmed up, then timed over adaptive batches until a time budget is
+//! spent; the median per-iteration time is reported. Run with
+//! `cargo bench -p sops-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use sops_amoebot::AmoebotSystem;
 use sops_analysis::{is_separated, separation_profile};
@@ -19,104 +21,134 @@ use sops_lattice::{Edge, Node, DIRECTIONS};
 use sops_polymer::partition::even_partition_function;
 use sops_polymer::{CutLoopModel, EvenSubgraphModel};
 
+/// Times `f`, returning the median ns/iteration over `SAMPLES` batches.
+fn bench(name: &str, mut f: impl FnMut()) {
+    const WARMUP: Duration = Duration::from_millis(200);
+    const BUDGET: Duration = Duration::from_millis(600);
+    const SAMPLES: usize = 11;
+
+    // Warm up and estimate a batch size targeting ~BUDGET/SAMPLES per batch.
+    let warm_start = Instant::now();
+    let mut iters: u64 = 0;
+    while warm_start.elapsed() < WARMUP {
+        f();
+        iters += 1;
+    }
+    let per_iter = WARMUP.as_nanos() as u64 / iters.max(1);
+    let batch = (BUDGET.as_nanos() as u64 / SAMPLES as u64 / per_iter.max(1)).max(1);
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[SAMPLES / 2];
+    let spread = (samples[SAMPLES - 2] - samples[1]).max(0.0);
+    println!("{name:<44} {median:>12.1} ns/iter  (±{spread:.1}, batch {batch})");
+}
+
 fn seeded_config(n: usize) -> Configuration {
     let mut rng = StdRng::seed_from_u64(n as u64);
     let nodes = construct::hexagonal_spiral(n);
     Configuration::new(construct::bicolor_random(nodes, n / 2, &mut rng)).unwrap()
 }
 
-fn bench_chain_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chain_step");
+fn bench_chain_step() {
     for n in [25usize, 100, 400] {
-        group.bench_with_input(BenchmarkId::new("with_swaps", n), &n, |b, &n| {
-            let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
-            let mut config = seeded_config(n);
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| black_box(chain.step(&mut config, &mut rng)));
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        let mut config = seeded_config(n);
+        let mut rng = StdRng::seed_from_u64(1);
+        bench(&format!("chain_step/with_swaps/{n}"), || {
+            black_box(chain.step(&mut config, &mut rng));
         });
-        group.bench_with_input(BenchmarkId::new("without_swaps", n), &n, |b, &n| {
-            let chain = SeparationChain::without_swaps(Bias::new(4.0, 4.0).unwrap());
-            let mut config = seeded_config(n);
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| black_box(chain.step(&mut config, &mut rng)));
+        let chain = SeparationChain::without_swaps(Bias::new(4.0, 4.0).unwrap());
+        let mut config = seeded_config(n);
+        let mut rng = StdRng::seed_from_u64(1);
+        bench(&format!("chain_step/without_swaps/{n}"), || {
+            black_box(chain.step(&mut config, &mut rng));
         });
     }
-    group.finish();
 }
 
-fn bench_properties(c: &mut Criterion) {
+fn bench_properties() {
     let config = seeded_config(100);
-    c.bench_function("property_check_all_moves_n100", |b| {
-        b.iter(|| {
-            let mut allowed = 0u32;
-            for i in 0..config.len() {
-                let from = config.position_of(i);
-                for d in DIRECTIONS {
-                    if !config.is_occupied(from.neighbor(d))
-                        && properties::movement_allowed(&config, from, d)
-                    {
-                        allowed += 1;
-                    }
+    bench("property_check_all_moves_n100", || {
+        let mut allowed = 0u32;
+        for i in 0..config.len() {
+            let from = config.position_of(i);
+            for d in DIRECTIONS {
+                if !config.is_occupied(from.neighbor(d))
+                    && properties::movement_allowed(&config, from, d)
+                {
+                    allowed += 1;
                 }
             }
-            black_box(allowed)
-        });
+        }
+        black_box(allowed);
     });
 }
 
-fn bench_observables(c: &mut Criterion) {
+fn bench_observables() {
     let config = seeded_config(100);
-    c.bench_function("boundary_walk_n100", |b| {
-        b.iter(|| black_box(config.boundary_walk_length()));
+    bench("boundary_walk_n100", || {
+        black_box(config.boundary_walk_length());
     });
-    c.bench_function("recount_edges_n100", |b| {
-        b.iter(|| black_box(config.recount()));
+    bench("recount_edges_n100", || {
+        black_box(config.recount());
     });
-    c.bench_function("hole_count_n100", |b| {
-        b.iter(|| black_box(config.hole_count()));
+    bench("hole_count_n100", || {
+        black_box(config.hole_count());
+    });
+    bench("audit_n100", || {
+        black_box(config.audit().is_consistent());
     });
 }
 
-fn bench_separation_certificate(c: &mut Criterion) {
+fn bench_separation_certificate() {
     // A partially separated configuration: the interesting (non-trivial
     // cut) case for the flow solver.
     let mut rng = StdRng::seed_from_u64(3);
     let mut config = seeded_config(100);
     let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
     chain.run(&mut config, 500_000, &mut rng);
-    c.bench_function("separation_certificate_n100", |b| {
-        b.iter(|| black_box(is_separated(&config, 4.0, 0.2)));
+    bench("separation_certificate_n100", || {
+        black_box(is_separated(&config, 4.0, 0.2));
     });
-    c.bench_function("separation_profile_n100", |b| {
-        b.iter(|| black_box(separation_profile(&config, Color::C1).len()));
-    });
-}
-
-fn bench_enumeration(c: &mut Criterion) {
-    c.bench_function("enumerate_shapes_n6", |b| {
-        b.iter(|| black_box(enumerate::shapes(6).len()));
-    });
-    c.bench_function("enumerate_hole_free_n6", |b| {
-        b.iter(|| black_box(enumerate::hole_free_shapes(6).len()));
+    bench("separation_profile_n100", || {
+        black_box(separation_profile(&config, Color::C1).len());
     });
 }
 
-fn bench_polymer(c: &mut Criterion) {
-    c.bench_function("even_partition_hexagon1", |b| {
-        b.iter(|| black_box(even_partition_function(&Region::hexagon(1), 1.0 / 80.0)));
+fn bench_enumeration() {
+    bench("enumerate_shapes_n6", || {
+        black_box(enumerate::shapes(6).len());
+    });
+    bench("enumerate_hole_free_n6", || {
+        black_box(enumerate::hole_free_shapes(6).len());
+    });
+}
+
+fn bench_polymer() {
+    bench("even_partition_hexagon1", || {
+        black_box(even_partition_function(&Region::hexagon(1), 1.0 / 80.0));
     });
     let model = CutLoopModel::new(6.0);
     let edge = Edge::new(Node::new(0, 0), Node::new(1, 0));
-    c.bench_function("cut_loops_through_edge_s3", |b| {
-        b.iter(|| black_box(model.polymers_cutting(edge, 3).len()));
+    bench("cut_loops_through_edge_s3", || {
+        black_box(model.polymers_cutting(edge, 3).len());
     });
     let even = EvenSubgraphModel::new(0.0125);
-    c.bench_function("cycles_through_edge_len6", |b| {
-        b.iter(|| black_box(even.cycles_through(edge, 6).len()));
+    bench("cycles_through_edge_len6", || {
+        black_box(even.cycles_through(edge, 6).len());
     });
 }
 
-fn bench_node_map_vs_std(c: &mut Criterion) {
+fn bench_node_map_vs_std() {
     // The design rationale for the custom open-addressing map: neighborhood
     // probes dominate the chain's hot path.
     let config = seeded_config(400);
@@ -124,91 +156,71 @@ fn bench_node_map_vs_std(c: &mut Criterion) {
     let std_map: std::collections::HashMap<Node, u8> =
         config.particles().map(|(n, c)| (n, c.index())).collect();
 
-    c.bench_function("probe_6_neighbors_nodemap_n400", |b| {
-        b.iter(|| {
-            let mut hits = 0u32;
-            for &n in &nodes {
-                for d in DIRECTIONS {
-                    hits += u32::from(config.is_occupied(n.neighbor(d)));
-                }
+    bench("probe_6_neighbors_nodemap_n400", || {
+        let mut hits = 0u32;
+        for &n in &nodes {
+            for d in DIRECTIONS {
+                hits += u32::from(config.is_occupied(n.neighbor(d)));
             }
-            black_box(hits)
-        });
+        }
+        black_box(hits);
     });
-    c.bench_function("probe_6_neighbors_stdhashmap_n400", |b| {
-        b.iter(|| {
-            let mut hits = 0u32;
-            for &n in &nodes {
-                for d in DIRECTIONS {
-                    hits += u32::from(std_map.contains_key(&n.neighbor(d)));
-                }
+    bench("probe_6_neighbors_stdhashmap_n400", || {
+        let mut hits = 0u32;
+        for &n in &nodes {
+            for d in DIRECTIONS {
+                hits += u32::from(std_map.contains_key(&n.neighbor(d)));
             }
-            black_box(hits)
-        });
+        }
+        black_box(hits);
     });
 }
 
-fn bench_amoebot(c: &mut Criterion) {
-    c.bench_function("amoebot_activation_n100", |b| {
-        b.iter_batched(
-            || {
-                let config = seeded_config(100);
-                (
-                    AmoebotSystem::new(&config, Bias::new(4.0, 4.0).unwrap(), true),
-                    StdRng::seed_from_u64(4),
-                )
-            },
-            |(mut sys, mut rng)| {
-                for _ in 0..1000 {
-                    black_box(sys.activate_random(&mut rng));
-                }
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_amoebot() {
+    let config = seeded_config(100);
+    let mut sys = AmoebotSystem::new(&config, Bias::new(4.0, 4.0).unwrap(), true);
+    let mut rng = StdRng::seed_from_u64(4);
+    bench("amoebot_activation_n100_x1000", || {
+        for _ in 0..1000 {
+            black_box(sys.activate_random(&mut rng));
+        }
     });
 }
 
-fn bench_figures_reduced(c: &mut Criterion) {
+fn bench_figures_reduced() {
     // End-to-end reduced renditions of the figure pipelines, so `cargo
     // bench` exercises every experiment path.
-    c.bench_function("fig2_pipeline_reduced", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(5);
-            let nodes = construct::random_blob(40, &mut rng);
-            let mut config =
-                Configuration::new(construct::bicolor_random(nodes, 20, &mut rng)).unwrap();
-            let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
-            chain.run(&mut config, 50_000, &mut rng);
-            black_box((
-                config.perimeter(),
-                config.hetero_edge_count(),
-                is_separated(&config, 4.0, 0.2).is_some(),
-            ))
-        });
+    bench("fig2_pipeline_reduced", || {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nodes = construct::random_blob(40, &mut rng);
+        let mut config =
+            Configuration::new(construct::bicolor_random(nodes, 20, &mut rng)).unwrap();
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        chain.run(&mut config, 50_000, &mut rng);
+        black_box((
+            config.perimeter(),
+            config.hetero_edge_count(),
+            is_separated(&config, 4.0, 0.2).is_some(),
+        ));
     });
-    c.bench_function("lemma9_pipeline_exact_n3", |b| {
-        b.iter(|| {
-            let chain = SeparationChain::new(Bias::new(2.0, 3.0).unwrap());
-            let exact = enumerate::ExactSeparationChain::new(chain, 3, 1);
-            let matrix = sops_chains::TransitionMatrix::build(&exact);
-            let pi = exact.lemma9_distribution(matrix.states());
-            black_box(matrix.detailed_balance_violation(&pi))
-        });
+    bench("lemma9_pipeline_exact_n3", || {
+        let chain = SeparationChain::new(Bias::new(2.0, 3.0).unwrap());
+        let exact = enumerate::ExactSeparationChain::new(chain, 3, 1);
+        let matrix = sops_chains::TransitionMatrix::build(&exact);
+        let pi = exact.lemma9_distribution(matrix.states());
+        black_box(matrix.detailed_balance_violation(&pi));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets =
-        bench_chain_step,
-        bench_properties,
-        bench_observables,
-        bench_separation_certificate,
-        bench_enumeration,
-        bench_polymer,
-        bench_node_map_vs_std,
-        bench_amoebot,
-        bench_figures_reduced,
+fn main() {
+    println!("{:<44} {:>12}", "benchmark", "median");
+    bench_chain_step();
+    bench_properties();
+    bench_observables();
+    bench_separation_certificate();
+    bench_enumeration();
+    bench_polymer();
+    bench_node_map_vs_std();
+    bench_amoebot();
+    bench_figures_reduced();
 }
-criterion_main!(benches);

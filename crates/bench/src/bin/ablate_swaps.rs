@@ -1,10 +1,19 @@
 //! §3.2 ablation: "Separation still occurs even when swap moves are
 //! disallowed, but takes much longer to achieve." We measure the first
 //! hitting time of a (β, δ)-separation certificate with and without swaps.
+//!
+//! The no-swap arms run for up to 2×10⁸ steps, so the hitting loop is
+//! resumable: with `--checkpoint-dir DIR` each replicate snapshots its
+//! state + RNG every check interval, `--resume` continues a killed run
+//! from the newest valid snapshot (falling back past corrupt ones), and
+//! `--audit-every N` re-verifies configuration invariants from scratch as
+//! the loop proceeds. Per-cell outcomes land in
+//! `results/ablate_swaps-cells.json`.
 
 use sops_analysis::is_separated;
-use sops_bench::{parallel_map, seeded, Table};
-use sops_chains::MarkovChain;
+use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
+use sops_bench::{seeded, Table};
+use sops_chains::{MarkovChain, Recovery, SnapshotRng as _};
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 
 const N: usize = 100;
@@ -12,7 +21,11 @@ const CAP: u64 = 200_000_000;
 const CHECK_EVERY: u64 = 50_000;
 const REPLICATES: u64 = 3;
 
-fn time_to_separation(swaps: bool, replicate: u64) -> Option<u64> {
+fn time_to_separation(
+    swaps: bool,
+    replicate: u64,
+    opts: &SweepOptions,
+) -> Result<Option<u64>, String> {
     let mut rng = seeded("ablate-swaps", replicate * 2 + u64::from(swaps));
     let nodes = construct::hexagonal_spiral(N);
     let mut config =
@@ -23,18 +36,69 @@ fn time_to_separation(swaps: bool, replicate: u64) -> Option<u64> {
     } else {
         SeparationChain::without_swaps(bias)
     };
-    let mut t = 0;
+
+    let store = opts
+        .store_for(&format!("swaps={swaps}-r{replicate}"))
+        .map_err(|e| e.to_string())?;
+    let mut t = 0u64;
+    if let Some(store) = &store {
+        let Recovery {
+            checkpoint,
+            rejected,
+        } = store
+            .recover::<Configuration>()
+            .map_err(|e| e.to_string())?;
+        for path in &rejected {
+            eprintln!(
+                "swaps={swaps} r{replicate}: skipped corrupt snapshot {}",
+                path.display()
+            );
+        }
+        if let Some(ckpt) = checkpoint {
+            rng.restore_rng_state(&ckpt.rng_state)
+                .map_err(|e| format!("bad RNG snapshot: {e}"))?;
+            config = ckpt.state;
+            t = ckpt.step;
+            eprintln!("swaps={swaps} r{replicate}: resumed at step {t}");
+        }
+    }
+
+    // Snapshots are written just before the separation check, so a cell
+    // that hit separation at exactly step t resumes *at* its hitting
+    // state; re-check before advancing or the resumed cell would report a
+    // hitting time one chunk later than the uninterrupted run.
+    if t > 0 && is_separated(&config, 4.0, 0.2).is_some() {
+        return Ok(Some(t));
+    }
+
+    let mut since_audit = 0u64;
     while t < CAP {
         chain.run(&mut config, CHECK_EVERY, &mut rng);
         t += CHECK_EVERY;
+        if let Some(every) = opts.audit_every {
+            since_audit += CHECK_EVERY;
+            if since_audit >= every {
+                since_audit = 0;
+                let report = config.audit();
+                if !report.is_consistent() {
+                    return Err(format!("invariant audit failed at step {t}: {report}"));
+                }
+            }
+        }
+        if let Some(store) = &store {
+            store
+                .save_parts(t, 0, &rng.rng_state(), &[], &config)
+                .map_err(|e| e.to_string())?;
+        }
         if is_separated(&config, 4.0, 0.2).is_some() {
-            return Some(t);
+            return Ok(Some(t));
         }
     }
-    None
+    Ok(None)
 }
 
 fn main() {
+    let opts = SweepOptions::from_args();
     println!(
         "Swap-move ablation: first time a (4, 0.2)-separation certificate\n\
          appears (n = {N}, λ = γ = 4, cap {CAP} steps, {REPLICATES} replicates)\n"
@@ -42,26 +106,45 @@ fn main() {
     let jobs: Vec<(bool, u64)> = (0..REPLICATES)
         .flat_map(|r| [(true, r), (false, r)])
         .collect();
-    let results = parallel_map(jobs, |(swaps, r)| (swaps, r, time_to_separation(swaps, r)));
+    struct Cell(bool, u64);
+    impl std::fmt::Display for Cell {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "swaps={}-r{}", self.0, self.1)
+        }
+    }
+    let cells: Vec<Cell> = jobs.iter().map(|&(s, r)| Cell(s, r)).collect();
+    let outcomes = run_cells(cells, opts.retries, |cell, _attempt| {
+        time_to_separation(cell.0, cell.1, &opts).map(|t| (cell.0, cell.1, t))
+    });
 
     let mut table = Table::new(["swaps", "replicate", "first separation (steps)"]);
     let mut with: Vec<u64> = Vec::new();
     let mut without: Vec<u64> = Vec::new();
-    for (swaps, r, t) in results {
-        table.row([
-            format!("{swaps}"),
-            format!("{r}"),
-            t.map_or_else(|| format!(">{CAP}"), |v| v.to_string()),
-        ]);
-        if let Some(v) = t {
-            if swaps {
-                with.push(v);
-            } else {
-                without.push(v);
+    for outcome in &outcomes {
+        match &outcome.result {
+            Some((swaps, r, t)) => {
+                table.row([
+                    format!("{swaps}"),
+                    format!("{r}"),
+                    t.map_or_else(|| format!(">{CAP}"), |v| v.to_string()),
+                ]);
+                if let Some(v) = t {
+                    if *swaps {
+                        with.push(*v);
+                    } else {
+                        without.push(*v);
+                    }
+                }
             }
+            None => table.row([
+                outcome.cell.clone(),
+                "—".to_string(),
+                format!("FAILED: {}", outcome.error.clone().unwrap_or_default()),
+            ]),
         }
     }
     table.print();
+    write_cell_report("ablate_swaps", &outcomes);
     if !with.is_empty() && !without.is_empty() {
         let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
         println!(

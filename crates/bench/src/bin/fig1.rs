@@ -1,11 +1,18 @@
 //! Figure 1: (a) a section of the triangular lattice `G_Δ`; (b) expanded
 //! and contracted particles on it. Regenerated as `results/fig1.svg`.
+//!
+//! Accepts the shared supervision flags (`--checkpoint-dir`, `--resume`,
+//! `--audit-every`, `--retries`) for uniformity across the experiment
+//! bins; figure generation is fast and stateless, so only the retry
+//! supervision applies here. The cell outcome is recorded in
+//! `results/fig1-cells.json`.
 
 use std::fmt::Write as _;
 
+use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
 use sops_lattice::{Node, DIRECTIONS};
 
-fn main() {
+fn render_fig1() -> String {
     const SCALE: f64 = 36.0;
     const MARGIN: f64 = 24.0;
 
@@ -119,7 +126,16 @@ fn main() {
         height - 4.0
     );
     svg.push_str("</svg>\n");
+    svg
+}
 
+fn main() {
+    let opts = SweepOptions::from_args();
     println!("Figure 1: lattice section (a) and contracted/expanded particles (b)");
-    sops_bench::save("fig1.svg", &svg);
+    let outcomes = run_cells(vec!["fig1"], opts.retries, |_, _attempt| {
+        let svg = render_fig1();
+        sops_bench::save("fig1.svg", &svg);
+        Ok::<_, String>(svg.len())
+    });
+    write_cell_report("fig1", &outcomes);
 }

@@ -8,14 +8,90 @@
 //! 2. the first hitting time of the *behavior* (a separation certificate)
 //!    on larger systems — which grows far more slowly than the time to
 //!    reach stationarity-quality samples.
+//!
+//! Part 2 runs up to 5×10⁸ steps per system size, so its hitting loop is
+//! supervised and resumable: `--checkpoint-dir DIR` snapshots each n-cell
+//! (state + RNG) every check interval, `--resume` picks up a killed sweep
+//! from the newest valid snapshot, and `--audit-every N` re-verifies the
+//! configuration invariants from scratch mid-run. Per-cell outcomes are
+//! recorded in `results/mixing-cells.json`.
 
 use sops_analysis::is_separated;
+use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
 use sops_bench::{seeded, Table};
-use sops_chains::{MarkovChain, TransitionMatrix};
+use sops_chains::{MarkovChain, Recovery, SnapshotRng as _, TransitionMatrix};
 use sops_core::enumerate::ExactSeparationChain;
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 
+const HIT_CHUNK: u64 = 25_000;
+const HIT_CAP: u64 = 500_000_000;
+
+fn hitting_cell(n: usize, opts: &SweepOptions) -> Result<Option<u64>, String> {
+    let mut rng = seeded("mixing-hit", n as u64);
+    let nodes = construct::hexagonal_spiral(n);
+    let mut config = Configuration::new(construct::bicolor_random(nodes, n / 2, &mut rng))
+        .map_err(|e| e.to_string())?;
+    let chain = SeparationChain::new(Bias::new(4.0, 4.0).expect("valid bias"));
+
+    let store = opts
+        .store_for(&format!("n={n}"))
+        .map_err(|e| e.to_string())?;
+    let mut t = 0u64;
+    if let Some(store) = &store {
+        let Recovery {
+            checkpoint,
+            rejected,
+        } = store
+            .recover::<Configuration>()
+            .map_err(|e| e.to_string())?;
+        for path in &rejected {
+            eprintln!("n={n}: skipped corrupt snapshot {}", path.display());
+        }
+        if let Some(ckpt) = checkpoint {
+            rng.restore_rng_state(&ckpt.rng_state)
+                .map_err(|e| format!("bad RNG snapshot: {e}"))?;
+            config = ckpt.state;
+            t = ckpt.step;
+            eprintln!("n={n}: resumed hitting loop at step {t}");
+        }
+    }
+
+    // Snapshots are written just before the separation check, so a cell
+    // that hit separation at exactly step t resumes *at* its hitting
+    // state; re-check before advancing or the resumed cell would report a
+    // hitting time one chunk later than the uninterrupted run.
+    if t > 0 && is_separated(&config, 4.0, 0.2).is_some() {
+        return Ok(Some(t));
+    }
+
+    let mut since_audit = 0u64;
+    while t < HIT_CAP {
+        chain.run(&mut config, HIT_CHUNK, &mut rng);
+        t += HIT_CHUNK;
+        if let Some(every) = opts.audit_every {
+            since_audit += HIT_CHUNK;
+            if since_audit >= every {
+                since_audit = 0;
+                let report = config.audit();
+                if !report.is_consistent() {
+                    return Err(format!("invariant audit failed at step {t}: {report}"));
+                }
+            }
+        }
+        if let Some(store) = &store {
+            store
+                .save_parts(t, 0, &rng.rng_state(), &[], &config)
+                .map_err(|e| e.to_string())?;
+        }
+        if is_separated(&config, 4.0, 0.2).is_some() {
+            return Ok(Some(t));
+        }
+    }
+    Ok(None)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = SweepOptions::from_args();
     println!("1. Exact mixing times t_mix(1/4) on enumerable spaces:\n");
     let mut t1 = Table::new([
         "n",
@@ -50,30 +126,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     t1.print();
 
     println!("\n2. Behavior arrives before stationarity: first (4, 0.2)-separation\n   certificate at λ = γ = 4 vs system size:\n");
+    let sizes = [40usize, 70, 100, 130];
+    let outcomes = run_cells(sizes.to_vec(), opts.retries, |&n, _attempt| {
+        hitting_cell(n, &opts).map(|hit| (n, hit))
+    });
     let mut t2 = Table::new(["n", "first separation (steps)", "steps per particle"]);
-    for n in [40usize, 70, 100, 130] {
-        let mut rng = seeded("mixing-hit", n as u64);
-        let nodes = construct::hexagonal_spiral(n);
-        let mut config = Configuration::new(construct::bicolor_random(nodes, n / 2, &mut rng))?;
-        let chain = SeparationChain::new(Bias::new(4.0, 4.0)?);
-        let mut t = 0u64;
-        let hit = loop {
-            chain.run(&mut config, 25_000, &mut rng);
-            t += 25_000;
-            if is_separated(&config, 4.0, 0.2).is_some() {
-                break Some(t);
-            }
-            if t >= 500_000_000 {
-                break None;
-            }
-        };
-        t2.row([
-            format!("{n}"),
-            hit.map_or_else(|| ">5e8".into(), |t| t.to_string()),
-            hit.map_or_else(|| "—".into(), |t| format!("{:.0}", t as f64 / n as f64)),
-        ]);
+    for outcome in &outcomes {
+        match &outcome.result {
+            Some((n, hit)) => t2.row([
+                format!("{n}"),
+                hit.map_or_else(|| ">5e8".into(), |t| t.to_string()),
+                hit.map_or_else(|| "—".into(), |t| format!("{:.0}", t as f64 / *n as f64)),
+            ]),
+            None => t2.row([
+                outcome.cell.clone(),
+                format!("FAILED: {}", outcome.error.clone().unwrap_or_default()),
+                "—".to_string(),
+            ]),
+        }
     }
     t2.print();
+    write_cell_report("mixing", &outcomes);
     println!(
         "\nexpected shape: hitting times grow polynomially and gently in n —\n\
          the behavioral guarantee arrives \"fairly quickly\" (§5) even though\n\

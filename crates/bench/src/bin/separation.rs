@@ -4,10 +4,18 @@
 //! including, counterintuitively, values of γ > 1. The sweep shows where
 //! the transition actually falls (the paper notes its bounds are not
 //! tight: simulations separate already at γ = 4).
+//!
+//! Supervision flags (see `sops_bench::supervisor`): `--checkpoint-dir
+//! DIR` snapshots each γ-cell's burn-in every `--audit-every` steps (with
+//! a from-scratch invariant audit before each snapshot), `--resume`
+//! continues an interrupted sweep from those snapshots, `--retries K`
+//! bounds retry attempts per cell. Per-cell outcomes are recorded in
+//! `results/separation-cells.json`.
 
 use sops_analysis::{is_separated, metrics};
-use sops_bench::{parallel_map, seeded, Table};
-use sops_chains::MarkovChain;
+use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
+use sops_bench::{seeded, Table};
+use sops_chains::{MarkovChain, MarkovChainCheckpointExt as _};
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 
 const N: usize = 100;
@@ -16,7 +24,64 @@ const BURN_IN: u64 = 10_000_000;
 const SAMPLES: usize = 100;
 const SAMPLE_GAP: u64 = 100_000;
 
+fn sweep_cell(gamma: f64, opts: &SweepOptions) -> Result<(f64, f64), String> {
+    let mut rng = seeded("separation", gamma.to_bits());
+    let nodes = construct::hexagonal_spiral(N);
+    let mut config =
+        Configuration::new(construct::bicolor_random(nodes, N / 2, &mut rng)).expect("valid seed");
+    let chain = SeparationChain::new(Bias::new(LAMBDA, gamma).expect("valid bias"));
+
+    // Burn-in, checkpointed (and audited before every snapshot) when a
+    // checkpoint directory is configured.
+    let store = opts
+        .store_for(&format!("gamma={gamma:.4}"))
+        .map_err(|e| e.to_string())?;
+    match store {
+        Some(store) => {
+            let interval = opts.audit_every.unwrap_or(1_000_000);
+            let run = chain
+                .run_checkpointed(&mut config, BURN_IN, interval, &mut rng, &store, |c| {
+                    metrics::hetero_fraction(c)
+                })
+                .map_err(|e| e.to_string())?;
+            if let Some(step) = run.resumed_from {
+                eprintln!("gamma={gamma:.4}: resumed burn-in from step {step}");
+            }
+            for path in &run.rejected {
+                eprintln!(
+                    "gamma={gamma:.4}: skipped corrupt snapshot {}",
+                    path.display()
+                );
+            }
+        }
+        None => {
+            chain.run(&mut config, BURN_IN, &mut rng);
+        }
+    }
+
+    let mut separated = 0usize;
+    let mut hetero = 0.0;
+    let mut since_audit = 0u64;
+    for _ in 0..SAMPLES {
+        chain.run(&mut config, SAMPLE_GAP, &mut rng);
+        if let Some(every) = opts.audit_every {
+            since_audit += SAMPLE_GAP;
+            if since_audit >= every {
+                since_audit = 0;
+                let report = config.audit();
+                if !report.is_consistent() {
+                    return Err(format!("invariant audit failed: {report}"));
+                }
+            }
+        }
+        separated += usize::from(is_separated(&config, 4.0, 0.2).is_some());
+        hetero += metrics::hetero_fraction(&config);
+    }
+    Ok((separated as f64 / SAMPLES as f64, hetero / SAMPLES as f64))
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = SweepOptions::from_args();
     let gammas: Vec<f64> = vec![
         0.8,
         79.0 / 81.0,
@@ -30,25 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         8.0,
     ];
 
-    let rows = parallel_map(gammas, |gamma| {
-        let mut rng = seeded("separation", gamma.to_bits());
-        let nodes = construct::hexagonal_spiral(N);
-        let mut config = Configuration::new(construct::bicolor_random(nodes, N / 2, &mut rng))
-            .expect("valid seed");
-        let chain = SeparationChain::new(Bias::new(LAMBDA, gamma).expect("valid bias"));
-        chain.run(&mut config, BURN_IN, &mut rng);
-        let mut separated = 0usize;
-        let mut hetero = 0.0;
-        for _ in 0..SAMPLES {
-            chain.run(&mut config, SAMPLE_GAP, &mut rng);
-            separated += usize::from(is_separated(&config, 4.0, 0.2).is_some());
-            hetero += metrics::hetero_fraction(&config);
-        }
-        (
-            gamma,
-            separated as f64 / SAMPLES as f64,
-            hetero / SAMPLES as f64,
-        )
+    let outcomes = run_cells(gammas.clone(), opts.retries, |&gamma, _attempt| {
+        sweep_cell(gamma, &opts)
     });
 
     println!(
@@ -61,22 +109,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "mean hetero fraction",
         "regime",
     ]);
-    for (gamma, p_sep, hf) in rows {
-        let regime = if gamma > 79.0 / 81.0 && gamma < 81.0 / 79.0 {
+    for (gamma, outcome) in gammas.iter().zip(&outcomes) {
+        let regime = if *gamma > 79.0 / 81.0 && *gamma < 81.0 / 79.0 {
             "proven integrated (Thm 16)"
-        } else if gamma > 5.6568 {
+        } else if *gamma > 5.6568 {
             "proven separated (Thm 14)"
         } else {
             ""
         };
-        table.row([
-            format!("{gamma:.4}"),
-            format!("{p_sep:.2}"),
-            format!("{hf:.3}"),
-            regime.to_string(),
-        ]);
+        match &outcome.result {
+            Some((p_sep, hf)) => table.row([
+                format!("{gamma:.4}"),
+                format!("{p_sep:.2}"),
+                format!("{hf:.3}"),
+                regime.to_string(),
+            ]),
+            None => table.row([
+                format!("{gamma:.4}"),
+                "FAILED".to_string(),
+                "—".to_string(),
+                outcome.error.clone().unwrap_or_default(),
+            ]),
+        }
     }
     table.print();
+    write_cell_report("separation", &outcomes);
     println!(
         "\nexpected shape: frequency ≈ 0 through the integration window\n\
          (including γ = 81/79 > 1), rising to ≈ 1 well before the proven\n\

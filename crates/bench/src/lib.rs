@@ -15,6 +15,8 @@ use std::path::PathBuf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub mod supervisor;
+
 /// A fixed-width text table, printed to stdout and embeddable in
 /// EXPERIMENTS.md as-is.
 #[derive(Clone, Debug, Default)]
@@ -123,8 +125,8 @@ pub fn seeded(label: &str, replicate: u64) -> StdRng {
     StdRng::seed_from_u64(hash ^ replicate)
 }
 
-/// Maps `jobs` through `work` using one scoped thread per job (bounded by
-/// `crossbeam`'s scope), preserving order. On single-core machines this
+/// Maps `jobs` through `work` using one scoped thread per job
+/// (`std::thread::scope`), preserving order. On single-core machines this
 /// degrades gracefully to sequential execution speed.
 pub fn parallel_map<T, R, F>(jobs: Vec<T>, work: F) -> Vec<R>
 where
@@ -140,18 +142,17 @@ where
     }
     let n = jobs.len();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let work = &work;
         let mut handles = Vec::new();
         for (i, job) in jobs.into_iter().enumerate() {
-            handles.push(scope.spawn(move |_| (i, work(job))));
+            handles.push(scope.spawn(move || (i, work(job))));
         }
         for h in handles {
             let (i, r) = h.join().expect("worker panicked");
             slots[i] = Some(r);
         }
-    })
-    .expect("scope panicked");
+    });
     slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 

@@ -1,0 +1,375 @@
+//! Fault-tolerant sweep supervision.
+//!
+//! Long parameter sweeps die for boring reasons: one diverging cell
+//! panics, the machine reboots eight hours in, a corrupted state poisons
+//! a result silently. This module gives every experiment binary the same
+//! three defenses:
+//!
+//! * **CLI flags** ([`SweepOptions::from_args`]): `--checkpoint-dir DIR`
+//!   persists per-cell snapshots there, `--resume` continues from them
+//!   (without it a fresh run clears stale cell state), `--audit-every N`
+//!   re-verifies configuration invariants from scratch every `N` steps,
+//!   and `--retries K` bounds per-cell retry attempts.
+//! * **Cell isolation** ([`run_cells`]): each sweep cell runs under
+//!   `catch_unwind` with bounded retries, so one panicking cell costs that
+//!   cell, not the sweep.
+//! * **Outcome records** ([`write_cell_report`]): per-cell success /
+//!   failure / attempt counts land in `results/<bin>-cells.json`, so a
+//!   partially failed sweep is visible in the artifact, not just the
+//!   scrollback.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use sops_chains::{CheckpointError, CheckpointStore};
+
+use crate::parallel_map;
+
+/// Runtime options shared by every sweep binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepOptions {
+    /// Where to persist per-cell checkpoints; `None` disables snapshots.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Whether to resume from existing snapshots instead of starting over.
+    pub resume: bool,
+    /// Re-audit configuration invariants every this many steps.
+    pub audit_every: Option<u64>,
+    /// Extra attempts after a cell's first failure.
+    pub retries: u32,
+    /// How many snapshots each cell retains.
+    pub retain: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            checkpoint_dir: None,
+            resume: false,
+            audit_every: None,
+            retries: 1,
+            retain: 3,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Parses the process arguments. Unknown flags are reported to stderr
+    /// and ignored, so binaries stay usable from wrapper scripts that pass
+    /// extra context.
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = SweepOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take_value = |flag: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--checkpoint-dir" => {
+                    opts.checkpoint_dir = Some(PathBuf::from(take_value("--checkpoint-dir")));
+                }
+                "--resume" => opts.resume = true,
+                "--audit-every" => {
+                    let v = take_value("--audit-every");
+                    opts.audit_every = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| panic!("--audit-every expects a step count: {v}")),
+                    );
+                }
+                "--retries" => {
+                    let v = take_value("--retries");
+                    opts.retries = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--retries expects a count: {v}"));
+                }
+                other => eprintln!("ignoring unknown flag {other:?}"),
+            }
+        }
+        opts
+    }
+
+    /// Opens the checkpoint store for one named sweep cell, or `None` when
+    /// checkpointing is disabled. Without `--resume`, any stale snapshots
+    /// for the cell are cleared first so the run starts from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the cell directory cannot be prepared.
+    pub fn store_for(&self, cell: &str) -> Result<Option<CheckpointStore>, CheckpointError> {
+        let Some(dir) = &self.checkpoint_dir else {
+            return Ok(None);
+        };
+        let cell_dir = dir.join(sanitize(cell));
+        if !self.resume && cell_dir.exists() {
+            std::fs::remove_dir_all(&cell_dir)?;
+        }
+        CheckpointStore::open(cell_dir, self.retain).map(Some)
+    }
+}
+
+/// Makes a cell label safe as a directory name.
+fn sanitize(cell: &str) -> String {
+    cell.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// The outcome of one supervised sweep cell.
+#[derive(Clone, Debug)]
+pub struct CellOutcome<T> {
+    /// The cell's label (e.g. `"gamma=4.0"`).
+    pub cell: String,
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: u32,
+    /// The cell's value when it succeeded.
+    pub result: Option<T>,
+    /// The final failure (panic message or returned error) otherwise.
+    pub error: Option<String>,
+}
+
+impl<T> CellOutcome<T> {
+    /// Whether the cell produced a result.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.result.is_some()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Runs one labelled cell per job in parallel, isolating each behind
+/// `catch_unwind` and retrying failures up to `retries` extra times.
+///
+/// A cell fails by returning `Err` *or* by panicking; either way the
+/// other cells are unaffected and the failure is recorded in the outcome
+/// rather than propagated.
+pub fn run_cells<L, T, F>(labels: Vec<L>, retries: u32, work: F) -> Vec<CellOutcome<T>>
+where
+    L: fmt::Display + Send,
+    T: Send,
+    F: Fn(&L, u32) -> Result<T, String> + Sync,
+{
+    parallel_map(labels, |label| {
+        let cell = label.to_string();
+        let mut attempts = 0;
+        let mut last_error = String::new();
+        while attempts <= retries {
+            attempts += 1;
+            match catch_unwind(AssertUnwindSafe(|| work(&label, attempts))) {
+                Ok(Ok(value)) => {
+                    return CellOutcome {
+                        cell,
+                        attempts,
+                        result: Some(value),
+                        error: None,
+                    }
+                }
+                Ok(Err(e)) => last_error = e,
+                Err(payload) => last_error = panic_message(payload),
+            }
+            eprintln!("cell {cell}: attempt {attempts} failed: {last_error}");
+        }
+        CellOutcome {
+            cell,
+            attempts,
+            result: None,
+            error: Some(last_error),
+        }
+    })
+}
+
+/// Escapes a string for embedding in JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes per-cell outcomes to `results/<bin>-cells.json` and returns the
+/// rendered JSON. Cell values are recorded through their `Debug` form so
+/// a failed sweep still documents what the surviving cells produced.
+pub fn write_cell_report<T: fmt::Debug>(bin: &str, outcomes: &[CellOutcome<T>]) -> String {
+    let json = render_cell_report(bin, outcomes);
+    crate::save(&format!("{bin}-cells.json"), &json);
+    json
+}
+
+/// Renders the per-cell outcome JSON without touching the filesystem.
+fn render_cell_report<T: fmt::Debug>(bin: &str, outcomes: &[CellOutcome<T>]) -> String {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bin\": \"{}\",\n", json_escape(bin)));
+    let failed = outcomes.iter().filter(|o| !o.is_ok()).count();
+    json.push_str(&format!("  \"cells_failed\": {failed},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str("    {");
+        json.push_str(&format!("\"cell\": \"{}\", ", json_escape(&o.cell)));
+        json.push_str(&format!("\"attempts\": {}, ", o.attempts));
+        json.push_str(&format!("\"ok\": {}, ", o.is_ok()));
+        match (&o.result, &o.error) {
+            (Some(v), _) => {
+                json.push_str(&format!(
+                    "\"value\": \"{}\"",
+                    json_escape(&format!("{v:?}"))
+                ));
+            }
+            (None, Some(e)) => json.push_str(&format!("\"error\": \"{}\"", json_escape(e))),
+            (None, None) => json.push_str("\"error\": \"unknown\""),
+        }
+        json.push('}');
+        json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_recognizes_all_flags() {
+        let opts = SweepOptions::parse(
+            [
+                "--checkpoint-dir",
+                "/tmp/ckpt",
+                "--resume",
+                "--audit-every",
+                "50000",
+                "--retries",
+                "2",
+                "--bogus",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(opts.checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
+        assert!(opts.resume);
+        assert_eq!(opts.audit_every, Some(50_000));
+        assert_eq!(opts.retries, 2);
+    }
+
+    #[test]
+    fn parse_defaults_without_flags() {
+        let opts = SweepOptions::parse(std::iter::empty());
+        assert_eq!(opts, SweepOptions::default());
+    }
+
+    #[test]
+    fn run_cells_isolates_panics_and_retries() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = AtomicU32::new(0);
+        let outcomes = run_cells(vec!["a", "b", "c"], 1, |label, attempt| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            match *label {
+                "a" => Ok(10),
+                // Fails once, succeeds on retry.
+                "b" if attempt == 1 => Err("transient".to_string()),
+                "b" => Ok(20),
+                _ => panic!("cell c always dies"),
+            }
+        });
+        let by_cell = |name: &str| outcomes.iter().find(|o| o.cell == name).unwrap();
+        assert_eq!(by_cell("a").result, Some(10));
+        assert_eq!(by_cell("a").attempts, 1);
+        assert_eq!(by_cell("b").result, Some(20));
+        assert_eq!(by_cell("b").attempts, 2);
+        assert!(by_cell("c").result.is_none());
+        assert_eq!(by_cell("c").attempts, 2);
+        assert!(by_cell("c")
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("always dies"));
+        // a(1) + b(2) + c(2)
+        assert_eq!(calls.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn store_for_is_none_without_checkpoint_dir() {
+        let opts = SweepOptions::default();
+        assert!(opts.store_for("cell").unwrap().is_none());
+    }
+
+    #[test]
+    fn store_for_clears_stale_cells_unless_resuming() {
+        let base = std::env::temp_dir().join(format!("sops-sweep-test-{}", std::process::id()));
+        let opts = SweepOptions {
+            checkpoint_dir: Some(base.clone()),
+            ..SweepOptions::default()
+        };
+        let store = opts.store_for("gamma=4.0").unwrap().unwrap();
+        let stale = store.dir().join("step-00000000000000000001.ckpt");
+        std::fs::write(&stale, "junk").unwrap();
+        // Fresh run: stale snapshot is cleared.
+        let store = opts.store_for("gamma=4.0").unwrap().unwrap();
+        assert!(store.list().unwrap().is_empty());
+        // Resumed run: snapshots survive.
+        std::fs::write(&stale, "junk").unwrap();
+        let resume = SweepOptions {
+            resume: true,
+            ..opts.clone()
+        };
+        let store = resume.store_for("gamma=4.0").unwrap().unwrap();
+        assert_eq!(store.list().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts_failures() {
+        let outcomes = vec![
+            CellOutcome {
+                cell: "ok\"cell".to_string(),
+                attempts: 1,
+                result: Some(1.5f64),
+                error: None,
+            },
+            CellOutcome::<f64> {
+                cell: "bad".to_string(),
+                attempts: 3,
+                result: None,
+                error: Some("panic: \"boom\"\nline2".to_string()),
+            },
+        ];
+        let json = render_cell_report("test-report", &outcomes);
+        assert!(json.contains("\"cells_failed\": 1"));
+        assert!(json.contains("ok\\\"cell"));
+        assert!(json.contains("\\\"boom\\\"\\nline2"));
+        assert!(json.contains("\"attempts\": 3"));
+    }
+
+    #[test]
+    fn sanitize_keeps_labels_path_safe() {
+        assert_eq!(sanitize("gamma=4.0/x"), "gamma-4.0-x");
+        assert_eq!(sanitize("n100"), "n100");
+    }
+}

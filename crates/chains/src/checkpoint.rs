@@ -1,0 +1,845 @@
+//! Crash-tolerant checkpoint/resume for long chain runs.
+//!
+//! The mixing experiments in this workspace run chains for 10⁸–10⁹ steps;
+//! a crash (OOM kill, preemption, power loss) hours into a sweep should
+//! not discard the run. This module provides:
+//!
+//! * [`Checkpoint`] — a snapshot bundling the chain state, the RNG state,
+//!   the step/acceptance counters, and the observable log recorded so far;
+//! * [`CheckpointStore`] — a directory of snapshots with atomic writes
+//!   (temp file + rename), content checksums, and bounded retention;
+//! * [`MarkovChain::run_checkpointed`] — a drop-in variant of
+//!   [`MarkovChain::trajectory`] that persists a snapshot every sampling
+//!   interval and resumes from the newest *valid* snapshot on restart.
+//!
+//! # Determinism contract
+//!
+//! A resumed run is bitwise-identical to an uninterrupted run with the
+//! same seed: the RNG stream depends only on the number of
+//! [`MarkovChain::step`] calls, observables are recorded only at sample
+//! boundaries, and the full RNG state travels inside the snapshot. The
+//! cross-layer test suite asserts this equivalence end to end.
+//!
+//! # Corruption handling
+//!
+//! Every snapshot carries an FNV-1a checksum over its payload. On resume
+//! the store walks snapshots newest-first and silently falls back past any
+//! snapshot whose checksum, header, or state decoding fails, reporting the
+//! rejected paths in [`Recovery::rejected`]. Recovery never panics; a
+//! store with no readable snapshot simply starts from scratch.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::chain::MarkovChain;
+
+/// Errors from checkpoint persistence and recovery.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// An I/O failure while reading or writing the store directory.
+    Io(std::io::Error),
+    /// A snapshot failed validation (checksum mismatch, truncated or
+    /// malformed payload). Recovery treats this as "skip and fall back";
+    /// it only surfaces as an error from direct [`CheckpointStore::load`].
+    Corrupt {
+        /// The offending snapshot file.
+        path: PathBuf,
+        /// What failed to validate.
+        reason: String,
+    },
+    /// The state failed its invariant audit; the snapshot was *not*
+    /// persisted, so the store never holds a corrupt state.
+    AuditFailed {
+        /// Step count at which the audit fired.
+        step: u64,
+        /// Human-readable invariant violations.
+        violations: Vec<String>,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt { path, reason } => {
+                write!(f, "corrupt checkpoint {}: {reason}", path.display())
+            }
+            CheckpointError::AuditFailed { step, violations } => {
+                write!(
+                    f,
+                    "invariant audit failed at step {step}: {}",
+                    violations.join("; ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serialization of a chain state into a self-contained byte string.
+///
+/// Implementations must round-trip exactly: `decode_state(encode_state(s))`
+/// reconstructs a state indistinguishable from `s`, including any
+/// incrementally-tracked counters, so that a resumed run behaves
+/// identically to an uninterrupted one.
+pub trait StateCodec: Sized {
+    /// Encodes the state into bytes.
+    fn encode_state(&self) -> Vec<u8>;
+
+    /// Decodes a state previously produced by [`StateCodec::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation on any invalid input;
+    /// decoding untrusted bytes must never panic.
+    fn decode_state(bytes: &[u8]) -> Result<Self, String>;
+}
+
+/// An RNG whose full internal state can be captured and restored, so a
+/// resumed run continues the exact random stream of the original.
+pub trait SnapshotRng {
+    /// Captures the generator's complete internal state.
+    fn rng_state(&self) -> Vec<u8>;
+
+    /// Restores a state captured by [`SnapshotRng::rng_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation on any invalid input.
+    fn restore_rng_state(&mut self, bytes: &[u8]) -> Result<(), String>;
+}
+
+impl SnapshotRng for StdRng {
+    fn rng_state(&self) -> Vec<u8> {
+        self.to_state_bytes().to_vec()
+    }
+
+    fn restore_rng_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let arr: [u8; 32] = bytes
+            .try_into()
+            .map_err(|_| format!("RNG state must be 32 bytes, got {}", bytes.len()))?;
+        *self = StdRng::from_state_bytes(arr);
+        Ok(())
+    }
+}
+
+/// A state that can recompute its own invariants from scratch.
+///
+/// [`MarkovChain::run_checkpointed`] audits the state before persisting
+/// every snapshot and refuses to write one whose audit reports violations,
+/// so on-disk snapshots are always internally consistent.
+pub trait Auditable {
+    /// Returns a list of invariant violations; empty means consistent.
+    fn audit_violations(&self) -> Vec<String>;
+}
+
+macro_rules! trivial_state_impls {
+    ($($t:ty),*) => {$(
+        impl StateCodec for $t {
+            fn encode_state(&self) -> Vec<u8> {
+                self.to_le_bytes().to_vec()
+            }
+            fn decode_state(bytes: &[u8]) -> Result<Self, String> {
+                Ok(<$t>::from_le_bytes(bytes.try_into().map_err(|_| {
+                    format!("expected {} bytes, got {}", size_of::<$t>(), bytes.len())
+                })?))
+            }
+        }
+        impl Auditable for $t {
+            fn audit_violations(&self) -> Vec<String> {
+                Vec::new()
+            }
+        }
+    )*};
+}
+
+trivial_state_impls!(u8, u16, u32, u64, i64);
+
+/// A point-in-time snapshot of a checkpointed run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint<S> {
+    /// Number of steps completed when the snapshot was taken.
+    pub step: u64,
+    /// Number of accepted (state-changing) steps so far.
+    pub accepted: u64,
+    /// Full RNG state at the snapshot point.
+    pub rng_state: Vec<u8>,
+    /// Observable samples `(time, value)` recorded so far, including the
+    /// time-0 sample.
+    pub log: Vec<(u64, f64)>,
+    /// The chain state.
+    pub state: S,
+}
+
+const MAGIC: &str = "sops-checkpoint v1";
+
+/// FNV-1a 64-bit hash, the snapshot content checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err("odd-length hex string".into());
+    }
+    (0..s.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&s[2 * i..2 * i + 2], 16)
+                .map_err(|_| format!("invalid hex at byte {i}"))
+        })
+        .collect()
+}
+
+/// Renders the snapshot payload (everything the checksum covers) from
+/// borrowed parts, so the runner can serialize without moving the state.
+fn render_payload<S: StateCodec>(
+    step: u64,
+    accepted: u64,
+    rng_state: &[u8],
+    log: &[(u64, f64)],
+    state: &S,
+) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("step {step}\n"));
+    out.push_str(&format!("accepted {accepted}\n"));
+    out.push_str(&format!("rng {}\n", hex_encode(rng_state)));
+    out.push_str(&format!("log {}\n", log.len()));
+    for (t, v) in log {
+        // Exact bits, so the resumed log is bitwise-identical.
+        out.push_str(&format!("{t} {:016x}\n", v.to_bits()));
+    }
+    out.push_str(&format!("state {}\n", hex_encode(&state.encode_state())));
+    out
+}
+
+/// Serializes snapshot parts, checksum line included.
+fn render_text<S: StateCodec>(
+    step: u64,
+    accepted: u64,
+    rng_state: &[u8],
+    log: &[(u64, f64)],
+    state: &S,
+) -> String {
+    let payload = render_payload(step, accepted, rng_state, log, state);
+    format!("{payload}checksum {:016x}\n", fnv1a(payload.as_bytes()))
+}
+
+impl<S: StateCodec> Checkpoint<S> {
+    /// Serializes the snapshot, checksum line included.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        render_text(
+            self.step,
+            self.accepted,
+            &self.rng_state,
+            &self.log,
+            &self.state,
+        )
+    }
+
+    /// Parses and validates a serialized snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first validation failure: bad magic,
+    /// checksum mismatch, malformed field, or state decode error.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let (payload, checksum_line) = text
+            .rsplit_once("checksum ")
+            .ok_or("missing checksum line")?;
+        let recorded = u64::from_str_radix(checksum_line.trim(), 16)
+            .map_err(|_| "malformed checksum".to_string())?;
+        let actual = fnv1a(payload.as_bytes());
+        if recorded != actual {
+            return Err(format!(
+                "checksum mismatch: recorded {recorded:016x}, computed {actual:016x}"
+            ));
+        }
+
+        let mut lines = payload.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err("bad magic header".into());
+        }
+        fn field<'a>(
+            lines: &mut impl Iterator<Item = &'a str>,
+            name: &str,
+        ) -> Result<String, String> {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("missing field {name}"))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_owned)
+                .ok_or_else(|| format!("expected field {name}, got {line:?}"))
+        }
+        let step: u64 = field(&mut lines, "step")?
+            .parse()
+            .map_err(|_| "bad step".to_string())?;
+        let accepted: u64 = field(&mut lines, "accepted")?
+            .parse()
+            .map_err(|_| "bad accepted".to_string())?;
+        let rng_state = hex_decode(&field(&mut lines, "rng")?)?;
+        let count: usize = field(&mut lines, "log")?
+            .parse()
+            .map_err(|_| "bad log count".to_string())?;
+        let mut log = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or("truncated log")?;
+            let (t, bits) = line.split_once(' ').ok_or("malformed log entry")?;
+            let t: u64 = t.parse().map_err(|_| "bad log time".to_string())?;
+            let bits = u64::from_str_radix(bits, 16).map_err(|_| "bad log value".to_string())?;
+            log.push((t, f64::from_bits(bits)));
+        }
+        let state = S::decode_state(&hex_decode(&field(&mut lines, "state")?)?)?;
+        Ok(Checkpoint {
+            step,
+            accepted,
+            rng_state,
+            log,
+            state,
+        })
+    }
+}
+
+/// A directory of checkpoint snapshots with atomic writes and bounded
+/// retention.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+/// The outcome of scanning a store for a resumable snapshot.
+#[derive(Debug)]
+pub struct Recovery<S> {
+    /// The newest snapshot that passed validation, if any.
+    pub checkpoint: Option<Checkpoint<S>>,
+    /// Snapshot files that failed validation and were skipped, newest
+    /// first. Callers may log or delete these; recovery leaves them in
+    /// place as forensic evidence.
+    pub rejected: Vec<PathBuf>,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a snapshot directory, keeping at most
+    /// `retain` snapshots; older ones are pruned after each save.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            retain: retain.max(1),
+        })
+    }
+
+    /// The directory this store persists into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot paths in ascending step order (filenames embed the step
+    /// count zero-padded, so lexical order is step order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory cannot be read.
+    pub fn list(&self) -> Result<Vec<PathBuf>, CheckpointError> {
+        let mut paths: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|e| e == "ckpt")
+                    && p.file_stem()
+                        .and_then(|s| s.to_str())
+                        .is_some_and(|s| s.starts_with("step-"))
+            })
+            .collect();
+        paths.sort();
+        Ok(paths)
+    }
+
+    /// Atomically persists a snapshot: the serialized form is written to a
+    /// temporary file in the same directory, flushed, then renamed into
+    /// place, so a crash mid-write never leaves a half-written snapshot
+    /// under the final name. Older snapshots beyond the retention bound
+    /// are pruned afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure.
+    pub fn save<S: StateCodec>(&self, ckpt: &Checkpoint<S>) -> Result<PathBuf, CheckpointError> {
+        self.save_parts(
+            ckpt.step,
+            ckpt.accepted,
+            &ckpt.rng_state,
+            &ckpt.log,
+            &ckpt.state,
+        )
+    }
+
+    /// [`CheckpointStore::save`] from borrowed parts; used by the runner
+    /// to persist without cloning the (potentially large) state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure.
+    pub fn save_parts<S: StateCodec>(
+        &self,
+        step: u64,
+        accepted: u64,
+        rng_state: &[u8],
+        log: &[(u64, f64)],
+        state: &S,
+    ) -> Result<PathBuf, CheckpointError> {
+        let final_path = self.dir.join(format!("step-{step:020}.ckpt"));
+        let tmp_path = self.dir.join(format!("step-{step:020}.ckpt.tmp"));
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(render_text(step, accepted, rng_state, log, state).as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    fn prune(&self) -> Result<(), CheckpointError> {
+        let paths = self.list()?;
+        if paths.len() > self.retain {
+            for p in &paths[..paths.len() - self.retain] {
+                // Best-effort: a failed prune must not fail the save.
+                let _ = fs::remove_file(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads and validates one specific snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Corrupt`] when validation fails and
+    /// [`CheckpointError::Io`] when the file cannot be read.
+    pub fn load<S: StateCodec>(&self, path: &Path) -> Result<Checkpoint<S>, CheckpointError> {
+        let text = fs::read_to_string(path)?;
+        Checkpoint::from_text(&text).map_err(|reason| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            reason,
+        })
+    }
+
+    /// Scans newest-to-oldest for a valid snapshot, skipping (and
+    /// reporting) any that fail validation. Never panics on corrupt
+    /// input; an empty or fully-corrupt store yields `checkpoint: None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for directory-level I/O failures.
+    pub fn recover<S: StateCodec>(&self) -> Result<Recovery<S>, CheckpointError> {
+        let mut rejected = Vec::new();
+        for path in self.list()?.into_iter().rev() {
+            match self.load::<S>(&path) {
+                Ok(ckpt) => {
+                    return Ok(Recovery {
+                        checkpoint: Some(ckpt),
+                        rejected,
+                    })
+                }
+                Err(_) => rejected.push(path),
+            }
+        }
+        Ok(Recovery {
+            checkpoint: None,
+            rejected,
+        })
+    }
+}
+
+/// The result of a checkpointed run.
+#[derive(Clone, Debug)]
+pub struct CheckpointedRun {
+    /// Total steps completed (equals the requested step count).
+    pub steps: u64,
+    /// Accepted (state-changing) steps across the whole run, including
+    /// any portion replayed from a snapshot.
+    pub accepted: u64,
+    /// Observable log `(time, value)`, sampled every checkpoint interval
+    /// starting at time 0.
+    pub log: Vec<(u64, f64)>,
+    /// The step count of the snapshot the run resumed from, if any.
+    pub resumed_from: Option<u64>,
+    /// Corrupt snapshot files skipped during recovery.
+    pub rejected: Vec<PathBuf>,
+    /// Number of snapshots written during this invocation.
+    pub snapshots_written: usize,
+}
+
+impl<C: MarkovChain> MarkovChainCheckpointExt for C {}
+
+/// Checkpointed execution for chains whose state supports snapshotting.
+///
+/// Blanket-implemented for every [`MarkovChain`]; kept as an extension
+/// trait so the core trait stays object-safe-agnostic and dependency-free.
+pub trait MarkovChainCheckpointExt: MarkovChain {
+    /// Runs `steps` transitions, persisting a snapshot (state + RNG +
+    /// counters + observable log) every `every` steps, and resuming from
+    /// the newest valid snapshot already in `store` if one exists.
+    ///
+    /// The observable is sampled at time 0, every `every` steps, and at
+    /// the final step. Before each snapshot is persisted the state is
+    /// audited ([`Auditable::audit_violations`]); a failed audit aborts
+    /// the run with [`CheckpointError::AuditFailed`] *without* writing
+    /// the snapshot, so the store never contains an inconsistent state.
+    ///
+    /// With identical seed, step count, and interval, a run interrupted
+    /// at any point and resumed through this method produces a state,
+    /// log, and acceptance count bitwise-identical to an uninterrupted
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on persistence failures and
+    /// [`CheckpointError::AuditFailed`] when the state fails its audit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is 0.
+    fn run_checkpointed<R, F>(
+        &self,
+        state: &mut Self::State,
+        steps: u64,
+        every: u64,
+        rng: &mut R,
+        store: &CheckpointStore,
+        mut observe: F,
+    ) -> Result<CheckpointedRun, CheckpointError>
+    where
+        Self::State: StateCodec + Auditable,
+        R: Rng + SnapshotRng + ?Sized,
+        F: FnMut(&Self::State) -> f64,
+    {
+        assert!(every > 0, "checkpoint interval must be positive");
+
+        let Recovery {
+            checkpoint,
+            rejected,
+        } = store.recover::<Self::State>()?;
+
+        let mut t;
+        let mut accepted;
+        let mut log;
+        let resumed_from;
+        match checkpoint {
+            Some(ckpt) if ckpt.step <= steps => {
+                *state = ckpt.state;
+                rng.restore_rng_state(&ckpt.rng_state).map_err(|reason| {
+                    CheckpointError::Corrupt {
+                        path: store.dir.clone(),
+                        reason,
+                    }
+                })?;
+                t = ckpt.step;
+                accepted = ckpt.accepted;
+                log = ckpt.log;
+                resumed_from = Some(t);
+            }
+            _ => {
+                t = 0;
+                accepted = 0;
+                log = vec![(0, observe(state))];
+                resumed_from = None;
+            }
+        }
+
+        let mut snapshots_written = 0;
+        while t < steps {
+            let burst = every.min(steps - t);
+            accepted += self.run(state, burst, rng);
+            t += burst;
+            log.push((t, observe(state)));
+
+            let violations = state.audit_violations();
+            if !violations.is_empty() {
+                return Err(CheckpointError::AuditFailed {
+                    step: t,
+                    violations,
+                });
+            }
+            store.save_parts(t, accepted, &rng.rng_state(), &log, state)?;
+            snapshots_written += 1;
+        }
+
+        Ok(CheckpointedRun {
+            steps,
+            accepted,
+            log,
+            resumed_from,
+            rejected,
+            snapshots_written,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A fresh scratch directory per test, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "sops-ckpt-test-{}-{tag}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Lazy walk on ℤ mod m; consumes exactly one RNG draw per step.
+    struct Walk(u64);
+
+    impl MarkovChain for Walk {
+        type State = u64;
+        fn step<R: Rng + ?Sized>(&self, s: &mut u64, rng: &mut R) -> bool {
+            match rng.random_range(0..4u8) {
+                0 => {
+                    *s = (*s + 1) % self.0;
+                    true
+                }
+                1 => {
+                    *s = (*s + self.0 - 1) % self.0;
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_text_round_trips() {
+        let ckpt = Checkpoint {
+            step: 42,
+            accepted: 17,
+            rng_state: vec![1, 2, 3, 4],
+            // 0.1 + 0.2 is an awkward value: exact bit round-trip matters.
+            log: vec![(0, 0.5), (21, -1.25), (42, 0.1 + 0.2)],
+            state: 7u64,
+        };
+        let back = Checkpoint::<u64>::from_text(&ckpt.to_text()).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn corrupt_text_is_rejected_not_panicked() {
+        let ckpt = Checkpoint {
+            step: 1,
+            accepted: 0,
+            rng_state: vec![9; 32],
+            log: vec![(0, 1.0)],
+            state: 3u64,
+        };
+        let good = ckpt.to_text();
+        // Flip one payload byte: checksum must catch it.
+        let mut bad = good.clone().into_bytes();
+        bad[MAGIC.len() + 6] ^= 0x01;
+        let err = Checkpoint::<u64>::from_text(std::str::from_utf8(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        // Truncation must also fail cleanly.
+        assert!(Checkpoint::<u64>::from_text(&good[..good.len() / 2]).is_err());
+        assert!(Checkpoint::<u64>::from_text("").is_err());
+    }
+
+    #[test]
+    fn store_retains_bounded_history() {
+        let scratch = Scratch::new("retain");
+        let store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        for step in 1..=10u64 {
+            store
+                .save(&Checkpoint {
+                    step,
+                    accepted: 0,
+                    rng_state: vec![0; 32],
+                    log: vec![],
+                    state: step,
+                })
+                .unwrap();
+        }
+        let paths = store.list().unwrap();
+        assert_eq!(paths.len(), 3);
+        let newest: Checkpoint<u64> = store.load(paths.last().unwrap()).unwrap();
+        assert_eq!(newest.step, 10);
+    }
+
+    #[test]
+    fn recovery_falls_back_past_corrupt_snapshots() {
+        let scratch = Scratch::new("fallback");
+        let store = CheckpointStore::open(&scratch.0, 5).unwrap();
+        for step in [10u64, 20, 30] {
+            store
+                .save(&Checkpoint {
+                    step,
+                    accepted: step / 2,
+                    rng_state: vec![1; 32],
+                    log: vec![(0, 0.0)],
+                    state: step,
+                })
+                .unwrap();
+        }
+        // Corrupt the newest two snapshots in different ways.
+        let paths = store.list().unwrap();
+        fs::write(&paths[2], "garbage").unwrap();
+        let mut bytes = fs::read(&paths[1]).unwrap();
+        let len = bytes.len();
+        bytes[len / 2] ^= 0xff;
+        fs::write(&paths[1], bytes).unwrap();
+
+        let rec: Recovery<u64> = store.recover().unwrap();
+        let ckpt = rec.checkpoint.unwrap();
+        assert_eq!(ckpt.step, 10);
+        assert_eq!(rec.rejected.len(), 2);
+    }
+
+    #[test]
+    fn fully_corrupt_store_recovers_to_none() {
+        let scratch = Scratch::new("allbad");
+        let store = CheckpointStore::open(&scratch.0, 5).unwrap();
+        fs::write(scratch.0.join("step-00000000000000000001.ckpt"), "junk").unwrap();
+        let rec: Recovery<u64> = store.recover().unwrap();
+        assert!(rec.checkpoint.is_none());
+        assert_eq!(rec.rejected.len(), 1);
+    }
+
+    #[test]
+    fn resumed_run_matches_uninterrupted_run() {
+        const STEPS: u64 = 10_000;
+        const EVERY: u64 = 1_000;
+        let chain = Walk(97);
+
+        // Uninterrupted reference run.
+        let scratch_a = Scratch::new("ref");
+        let store_a = CheckpointStore::open(&scratch_a.0, 2).unwrap();
+        let mut state_a = 0u64;
+        let mut rng_a = StdRng::seed_from_u64(123);
+        let run_a = chain
+            .run_checkpointed(&mut state_a, STEPS, EVERY, &mut rng_a, &store_a, |s| {
+                *s as f64
+            })
+            .unwrap();
+        assert!(run_a.resumed_from.is_none());
+
+        // Interrupted run: stop at 40%, then re-invoke for the full length
+        // with a *fresh* RNG and state (both restored from the snapshot).
+        let scratch_b = Scratch::new("resume");
+        let store_b = CheckpointStore::open(&scratch_b.0, 2).unwrap();
+        let mut state_b = 0u64;
+        let mut rng_b = StdRng::seed_from_u64(123);
+        chain
+            .run_checkpointed(&mut state_b, 4 * EVERY, EVERY, &mut rng_b, &store_b, |s| {
+                *s as f64
+            })
+            .unwrap();
+        let mut state_c = 0u64;
+        let mut rng_c = StdRng::seed_from_u64(999); // wrong seed: must be overwritten
+        let run_c = chain
+            .run_checkpointed(&mut state_c, STEPS, EVERY, &mut rng_c, &store_b, |s| {
+                *s as f64
+            })
+            .unwrap();
+
+        assert_eq!(run_c.resumed_from, Some(4 * EVERY));
+        assert_eq!(state_c, state_a);
+        assert_eq!(run_c.accepted, run_a.accepted);
+        assert_eq!(run_c.log, run_a.log);
+        assert_eq!(rng_c.to_state_bytes(), rng_a.to_state_bytes());
+    }
+
+    #[test]
+    fn audit_failure_blocks_persistence() {
+        struct Poisoned;
+        impl MarkovChain for Poisoned {
+            type State = BadState;
+            fn step<R: Rng + ?Sized>(&self, s: &mut BadState, _rng: &mut R) -> bool {
+                s.0 += 1;
+                true
+            }
+        }
+        struct BadState(u64);
+        impl StateCodec for BadState {
+            fn encode_state(&self) -> Vec<u8> {
+                self.0.encode_state()
+            }
+            fn decode_state(bytes: &[u8]) -> Result<Self, String> {
+                u64::decode_state(bytes).map(BadState)
+            }
+        }
+        impl Auditable for BadState {
+            fn audit_violations(&self) -> Vec<String> {
+                vec!["deliberately inconsistent".into()]
+            }
+        }
+
+        let scratch = Scratch::new("audit");
+        let store = CheckpointStore::open(&scratch.0, 2).unwrap();
+        let mut state = BadState(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = Poisoned
+            .run_checkpointed(&mut state, 10, 5, &mut rng, &store, |s| s.0 as f64)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::AuditFailed { step: 5, .. }));
+        // Nothing was persisted.
+        assert!(store.list().unwrap().is_empty());
+    }
+}

@@ -10,6 +10,9 @@
 //!   for chains with enumerable state spaces, with stationary distributions
 //!   (power iteration), detailed-balance verification, irreducibility and
 //!   aperiodicity checks, and t-step distributions;
+//! * [`checkpoint`] — crash-tolerant checkpoint/resume for long runs:
+//!   atomic snapshots of state + RNG + observable log, checksum-verified
+//!   recovery, and invariant auditing before every persist;
 //! * [`metropolis`] — the Metropolis filter (Metropolis–Hastings acceptance
 //!   rule) used by Algorithm 1;
 //! * [`stats`] — empirical distributions, total-variation distance, and
@@ -42,9 +45,14 @@
 #![warn(missing_docs)]
 
 mod chain;
+pub mod checkpoint;
 mod exact;
 pub mod metropolis;
 pub mod stats;
 
 pub use chain::{MarkovChain, Trajectory};
+pub use checkpoint::{
+    Auditable, Checkpoint, CheckpointError, CheckpointStore, CheckpointedRun,
+    MarkovChainCheckpointExt, Recovery, SnapshotRng, StateCodec,
+};
 pub use exact::{EnumerableChain, TransitionMatrix};

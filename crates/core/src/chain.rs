@@ -6,7 +6,7 @@ use sops_chains::metropolis::PowerRatio;
 use sops_chains::MarkovChain;
 use sops_lattice::{Node, DIRECTIONS};
 
-use crate::{properties, Bias, Configuration};
+use crate::{properties, Bias, ChainStateError, Configuration};
 
 /// The stochastic, local, distributed separation algorithm as a centralized
 /// Markov chain (Algorithm 1 of the paper).
@@ -85,31 +85,56 @@ impl SeparationChain {
     ///
     /// Exposed for the exact transition-matrix construction and the amoebot
     /// translation, which must agree with the sampler bit-for-bit.
-    #[must_use]
-    pub fn move_ratio(&self, config: &Configuration, from: Node, to: Node) -> PowerRatio<2> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainStateError::UnoccupiedSource`] when `from` holds no
+    /// particle — a caller logic error (or corrupted state), surfaced as a
+    /// typed error rather than a panic so experiment drivers can skip the
+    /// proposal, audit the state, and degrade gracefully.
+    pub fn move_ratio(
+        &self,
+        config: &Configuration,
+        from: Node,
+        to: Node,
+    ) -> Result<PowerRatio<2>, ChainStateError> {
         let color = config
             .color_at(from)
-            .expect("move_ratio: no particle at source");
+            .ok_or(ChainStateError::UnoccupiedSource(from))?;
         let e = config.occupied_neighbors(from);
         let e_new = config.occupied_neighbors_excluding(to, from);
         let ei = config.colored_neighbors(from, color);
         let ei_new = config.colored_neighbors_excluding(to, color, from);
-        PowerRatio::new(
+        Ok(PowerRatio::new(
             [self.bias.lambda(), self.bias.gamma()],
             [e_new - e, ei_new - ei],
-        )
+        ))
     }
 
     /// The Metropolis acceptance ratio for swapping the particles at the
     /// adjacent nodes `a` (color `c_i`) and `b` (color `c_j`).
-    #[must_use]
-    pub fn swap_ratio(&self, config: &Configuration, a: Node, b: Node) -> PowerRatio<1> {
-        let ci = config.color_at(a).expect("swap_ratio: no particle at a");
-        let cj = config.color_at(b).expect("swap_ratio: no particle at b");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainStateError::UnoccupiedSource`] when `a` holds no
+    /// particle and [`ChainStateError::UnoccupiedTarget`] when `b` holds
+    /// none.
+    pub fn swap_ratio(
+        &self,
+        config: &Configuration,
+        a: Node,
+        b: Node,
+    ) -> Result<PowerRatio<1>, ChainStateError> {
+        let ci = config
+            .color_at(a)
+            .ok_or(ChainStateError::UnoccupiedSource(a))?;
+        let cj = config
+            .color_at(b)
+            .ok_or(ChainStateError::UnoccupiedTarget(b))?;
         // |N_i(ℓ′)∖{P}| − |N_i(ℓ)| + |N_j(ℓ)∖{Q}| − |N_j(ℓ′)|
         let gain_i = config.colored_neighbors_excluding(b, ci, a) - config.colored_neighbors(a, ci);
         let gain_j = config.colored_neighbors_excluding(a, cj, b) - config.colored_neighbors(b, cj);
-        PowerRatio::new([self.bias.gamma()], [gain_i + gain_j])
+        Ok(PowerRatio::new([self.bias.gamma()], [gain_i + gain_j]))
     }
 
     /// Whether the particle at `from` may move one step in direction `dir`
@@ -149,7 +174,13 @@ impl MarkovChain for SeparationChain {
                 if !properties::movement_allowed(config, from, dir) {
                     return false; // condition (ii)
                 }
-                if self.move_ratio(config, from, to).accept(rng) {
+                // The source is the activated particle's own position, so
+                // the ratio cannot fail on a consistent configuration.
+                let Ok(ratio) = self.move_ratio(config, from, to) else {
+                    debug_assert!(false, "activated particle vanished from {from}");
+                    return false;
+                };
+                if ratio.accept(rng) {
                     config.move_particle(p, to);
                     true
                 } else {
@@ -161,7 +192,11 @@ impl MarkovChain for SeparationChain {
                 if !self.swaps || qcolor == config.color_of(p) {
                     return false;
                 }
-                if self.swap_ratio(config, from, to).accept(rng) {
+                let Ok(ratio) = self.swap_ratio(config, from, to) else {
+                    debug_assert!(false, "swap endpoints {from}/{to} lost their particles");
+                    return false;
+                };
+                if ratio.accept(rng) {
                     config.swap(from, to);
                     true
                 } else {
@@ -342,9 +377,36 @@ mod tests {
         let chain = SeparationChain::new(Bias::new(4.0, 3.0).unwrap());
         let a = sops_lattice::Node::new(0, 0);
         let b = sops_lattice::Node::new(1, 0);
-        let r1 = chain.swap_ratio(&config, a, b);
-        let r2 = chain.swap_ratio(&config, b, a);
+        let r1 = chain.swap_ratio(&config, a, b).unwrap();
+        let r2 = chain.swap_ratio(&config, b, a).unwrap();
         assert!((r1.value() - r2.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ratios_return_typed_errors_on_unoccupied_nodes() {
+        use crate::ChainStateError;
+        let config = Configuration::new([
+            (sops_lattice::Node::new(0, 0), Color::C1),
+            (sops_lattice::Node::new(1, 0), Color::C2),
+        ])
+        .unwrap();
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        let empty = sops_lattice::Node::new(0, 1);
+        let occupied = sops_lattice::Node::new(0, 0);
+        assert_eq!(
+            chain.move_ratio(&config, empty, occupied).unwrap_err(),
+            ChainStateError::UnoccupiedSource(empty)
+        );
+        assert_eq!(
+            chain.swap_ratio(&config, empty, occupied).unwrap_err(),
+            ChainStateError::UnoccupiedSource(empty)
+        );
+        assert_eq!(
+            chain.swap_ratio(&config, occupied, empty).unwrap_err(),
+            ChainStateError::UnoccupiedTarget(empty)
+        );
+        let err = chain.move_ratio(&config, empty, occupied).unwrap_err();
+        assert!(err.to_string().contains("holds no particle"));
     }
 
     #[test]
@@ -359,11 +421,13 @@ mod tests {
         ])
         .unwrap();
         let chain = SeparationChain::new(Bias::new(5.0, 7.0).unwrap());
-        let ratio = chain.move_ratio(
-            &config,
-            sops_lattice::Node::new(0, 1),
-            sops_lattice::Node::new(1, 1),
-        );
+        let ratio = chain
+            .move_ratio(
+                &config,
+                sops_lattice::Node::new(0, 1),
+                sops_lattice::Node::new(1, 1),
+            )
+            .unwrap();
         assert!((ratio.value() - 1.0 / 5.0).abs() < 1e-15);
     }
 

@@ -18,7 +18,6 @@ use core::fmt;
 /// assert_eq!(Color::C2.index(), 1);
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Color(u8);
 
 impl Color {

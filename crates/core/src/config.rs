@@ -4,6 +4,7 @@ use core::fmt;
 
 use sops_lattice::{Direction, Node, NodeMap, NodeSet, DIRECTIONS};
 
+use crate::error::{AuditReport, AuditViolation};
 use crate::{Color, ConfigError};
 
 /// Map payload: which particle sits on a node, and its color.
@@ -550,6 +551,117 @@ impl Configuration {
         steps
     }
 
+    /// Recomputes every tracked invariant from scratch and diffs the results
+    /// against the incrementally-maintained bookkeeping.
+    ///
+    /// The audit independently re-derives, without consulting the tracked
+    /// counters:
+    ///
+    /// * the occupancy map ↔ position/color table correspondence;
+    /// * the edge count `e(σ)` and heterogeneous edge count `h(σ)`;
+    /// * connectivity (which the chain provably preserves);
+    /// * the hole count;
+    /// * for connected hole-free states, the perimeter identity
+    ///   `p(σ) = 3n − e(σ) − 3` against the contour boundary walk.
+    ///
+    /// Any disagreement becomes an [`AuditViolation`] in the returned
+    /// [`AuditReport`]; the report never panics regardless of how corrupt
+    /// the state is. Holes alone are *not* a violation — configurations
+    /// with holes are legal chain states (Lemma 6 only guarantees holes
+    /// eventually close) — but disconnection is, since every transition
+    /// preserves connectivity.
+    ///
+    /// Cost is O(n + area of bounding box); intended for checkpoint
+    /// boundaries and debugging, not the chain's hot path.
+    #[must_use]
+    pub fn audit(&self) -> AuditReport {
+        let mut violations = Vec::new();
+
+        // Occupancy map ↔ particle table correspondence, both directions.
+        let mut entries = 0usize;
+        for (node, slot) in self.occupancy.iter() {
+            entries += 1;
+            let idx = slot.index as usize;
+            if idx >= self.positions.len() {
+                violations.push(AuditViolation::OccupancyDesync {
+                    node,
+                    detail: format!(
+                        "slot index {idx} out of range for {} particles",
+                        self.positions.len()
+                    ),
+                });
+                continue;
+            }
+            if self.positions[idx] != node {
+                violations.push(AuditViolation::OccupancyDesync {
+                    node,
+                    detail: format!(
+                        "slot index {idx} maps back to {}, not this node",
+                        self.positions[idx]
+                    ),
+                });
+            }
+            if self.colors[idx] != slot.color {
+                violations.push(AuditViolation::OccupancyDesync {
+                    node,
+                    detail: format!(
+                        "slot color {:?} disagrees with color table {:?}",
+                        slot.color, self.colors[idx]
+                    ),
+                });
+            }
+        }
+        if entries != self.positions.len() {
+            for (i, &n) in self.positions.iter().enumerate() {
+                if self.occupancy.get(n).is_none() {
+                    violations.push(AuditViolation::OccupancyDesync {
+                        node: n,
+                        detail: format!("particle {i} is missing from the occupancy map"),
+                    });
+                }
+            }
+        }
+
+        let (edges, hetero) = self.recount();
+        if edges != self.edges {
+            violations.push(AuditViolation::EdgeCountDrift {
+                tracked: self.edges,
+                recomputed: edges,
+            });
+        }
+        if hetero != self.hetero {
+            violations.push(AuditViolation::HeteroCountDrift {
+                tracked: self.hetero,
+                recomputed: hetero,
+            });
+        }
+
+        let connected = self.is_connected();
+        if !connected {
+            violations.push(AuditViolation::Disconnected);
+        }
+        let holes = self.hole_count();
+        if connected && holes == 0 && self.len() > 1 {
+            // Derive the identity from the *recomputed* edge count so this
+            // check stays meaningful even when the tracked count drifted
+            // (drift is already reported separately).
+            let identity = (3 * self.positions.len() as u64).saturating_sub(edges + 3);
+            let walk = self.boundary_walk_length();
+            if identity != walk {
+                violations.push(AuditViolation::PerimeterMismatch { identity, walk });
+            }
+        }
+
+        AuditReport {
+            particles: self.len(),
+            edges,
+            hetero_edges: hetero,
+            connected,
+            holes,
+            violations,
+        }
+    }
+
     /// The canonical form of this configuration: particle set translated so
     /// its lexicographically smallest node is the origin, sorted. Two
     /// configurations are the same *configuration* in the paper's sense
@@ -816,6 +928,70 @@ mod tests {
         let rt = a.canonical_form().to_configuration();
         assert_eq!(rt.canonical_form(), a.canonical_form());
         assert_eq!(rt.edge_count(), a.edge_count());
+    }
+
+    #[test]
+    fn audit_of_clean_configuration_is_consistent() {
+        let c = tri();
+        let report = c.audit();
+        assert!(report.is_consistent(), "{report}");
+        assert_eq!(report.particles, 3);
+        assert_eq!(report.edges, 3);
+        assert_eq!(report.hetero_edges, 2);
+        assert!(report.connected);
+        assert_eq!(report.holes, 0);
+        assert!(report.violation_messages().is_empty());
+    }
+
+    #[test]
+    fn audit_detects_counter_drift() {
+        let mut c = tri();
+        c.edges += 1;
+        c.hetero += 2;
+        let report = c.audit();
+        assert!(!report.is_consistent());
+        assert!(report.violations.contains(&AuditViolation::EdgeCountDrift {
+            tracked: 4,
+            recomputed: 3,
+        }));
+        assert!(report
+            .violations
+            .contains(&AuditViolation::HeteroCountDrift {
+                tracked: 4,
+                recomputed: 2,
+            }));
+    }
+
+    #[test]
+    fn audit_detects_occupancy_desync() {
+        let mut c = tri();
+        // Corrupt the position table behind the occupancy map's back.
+        c.positions.swap(0, 1);
+        let report = c.audit();
+        assert!(!report.is_consistent());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::OccupancyDesync { .. })));
+    }
+
+    #[test]
+    fn audit_flags_disconnection_but_tolerates_holes() {
+        // A ring has a hole but is a perfectly legal chain state.
+        let ring = Configuration::new(Node::ORIGIN.neighbors().into_iter().map(|n| (n, Color::C1)))
+            .unwrap();
+        let report = ring.audit();
+        assert_eq!(report.holes, 1);
+        assert!(report.is_consistent(), "{report}");
+
+        let split =
+            Configuration::new([(Node::new(0, 0), Color::C1), (Node::new(9, 9), Color::C1)])
+                .unwrap();
+        let report = split.audit();
+        assert!(report.violations.contains(&AuditViolation::Disconnected));
+        // The audit must not panic on a disconnected state even though
+        // `boundary_walk_length` would.
+        assert!(!report.connected);
     }
 
     #[test]

@@ -337,7 +337,13 @@ impl EnumerableChain for ExactSeparationChain {
                         if !self.chain.move_valid(&config, from, dir) {
                             continue;
                         }
-                        let ratio = self.chain.move_ratio(&config, from, to).value().min(1.0);
+                        // `from` is always occupied here (it is a particle's
+                        // position), so the ratio cannot fail; skip defensively
+                        // rather than panic if it ever does.
+                        let Ok(ratio) = self.chain.move_ratio(&config, from, to) else {
+                            continue;
+                        };
+                        let ratio = ratio.value().min(1.0);
                         let mut next = config.clone();
                         next.move_particle(p, to);
                         out.push((next.canonical_form(), per_proposal * ratio));
@@ -346,7 +352,10 @@ impl EnumerableChain for ExactSeparationChain {
                         if !self.chain.swaps_enabled() || qcolor == config.color_of(p) {
                             continue;
                         }
-                        let ratio = self.chain.swap_ratio(&config, from, to).value().min(1.0);
+                        let Ok(ratio) = self.chain.swap_ratio(&config, from, to) else {
+                            continue;
+                        };
+                        let ratio = ratio.value().min(1.0);
                         let mut next = config.clone();
                         next.swap(from, to);
                         out.push((next.canonical_form(), per_proposal * ratio));

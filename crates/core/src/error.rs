@@ -57,6 +57,170 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// A chain transition was queried against a state that cannot support it —
+/// e.g. an acceptance ratio for a move whose source node holds no particle.
+///
+/// These conditions indicate a logic error in the *caller* (or corrupted
+/// state), but they are surfaced as typed errors rather than panics so
+/// long-running experiment drivers can degrade gracefully: skip the
+/// transition, audit the state, and continue or abort deliberately.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ChainStateError {
+    /// A transition's source node holds no particle.
+    UnoccupiedSource(Node),
+    /// A swap's partner node holds no particle.
+    UnoccupiedTarget(Node),
+}
+
+impl fmt::Display for ChainStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainStateError::UnoccupiedSource(n) => {
+                write!(f, "transition source {n} holds no particle")
+            }
+            ChainStateError::UnoccupiedTarget(n) => {
+                write!(f, "swap target {n} holds no particle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainStateError {}
+
+/// One invariant violation found by [`crate::Configuration::audit`].
+///
+/// Each variant carries both the incrementally-tracked value and the value
+/// recomputed from scratch, so a report pinpoints *which* bookkeeping
+/// drifted, not merely that something did.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AuditViolation {
+    /// The incrementally-maintained edge count `e(σ)` disagrees with a
+    /// from-scratch recount.
+    EdgeCountDrift {
+        /// The incrementally-tracked value.
+        tracked: u64,
+        /// The value recomputed from scratch.
+        recomputed: u64,
+    },
+    /// The incrementally-maintained heterogeneous-edge count `h(σ)`
+    /// disagrees with a from-scratch recount.
+    HeteroCountDrift {
+        /// The incrementally-tracked value.
+        tracked: u64,
+        /// The value recomputed from scratch.
+        recomputed: u64,
+    },
+    /// The occupancy map and the particle position/color tables disagree.
+    OccupancyDesync {
+        /// The node where the disagreement was found.
+        node: Node,
+        /// What disagreed (index mapping, color, or a missing entry).
+        detail: String,
+    },
+    /// The configuration is disconnected. The chain preserves connectivity
+    /// (Lemma 5), so a disconnected state mid-run means a corrupted
+    /// transition.
+    Disconnected,
+    /// The perimeter identity `p(σ) = 3n − e(σ) − 3` disagrees with the
+    /// independently computed boundary walk. Only checked for connected
+    /// hole-free configurations, where the identity is exact.
+    PerimeterMismatch {
+        /// `3n − e(σ) − 3` from the tracked edge count.
+        identity: u64,
+        /// The boundary-walk length computed by contour traversal.
+        walk: u64,
+    },
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditViolation::EdgeCountDrift {
+                tracked,
+                recomputed,
+            } => write!(
+                f,
+                "edge count drift: tracked {tracked}, recomputed {recomputed}"
+            ),
+            AuditViolation::HeteroCountDrift {
+                tracked,
+                recomputed,
+            } => write!(
+                f,
+                "heterogeneous edge count drift: tracked {tracked}, recomputed {recomputed}"
+            ),
+            AuditViolation::OccupancyDesync { node, detail } => {
+                write!(f, "occupancy desync at {node}: {detail}")
+            }
+            AuditViolation::Disconnected => write!(f, "configuration is disconnected"),
+            AuditViolation::PerimeterMismatch { identity, walk } => write!(
+                f,
+                "perimeter identity gives {identity} but boundary walk measures {walk}"
+            ),
+        }
+    }
+}
+
+/// The result of a from-scratch invariant audit of a configuration
+/// (see [`crate::Configuration::audit`]).
+///
+/// Captures the recomputed observables alongside any violations, so a
+/// clean report doubles as an independently-derived summary of the state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditReport {
+    /// Number of particles `n`.
+    pub particles: usize,
+    /// Edge count `e(σ)` recomputed from scratch.
+    pub edges: u64,
+    /// Heterogeneous edge count `h(σ)` recomputed from scratch.
+    pub hetero_edges: u64,
+    /// Whether the configuration is connected.
+    pub connected: bool,
+    /// Number of holes.
+    pub holes: usize,
+    /// Every violation found; empty means the state is consistent.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Whether the audit found no violations.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations rendered as human-readable strings (the format the
+    /// checkpoint layer's audit hook consumes).
+    #[must_use]
+    pub fn violation_messages(&self) -> Vec<String> {
+        self.violations.iter().map(ToString::to_string).collect()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "audit: n={}, e={}, h={}, connected={}, holes={}",
+            self.particles, self.edges, self.hetero_edges, self.connected, self.holes
+        )?;
+        if self.violations.is_empty() {
+            write!(f, ", consistent")
+        } else {
+            write!(f, ", {} violation(s): ", self.violations.len())?;
+            for (i, v) in self.violations.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

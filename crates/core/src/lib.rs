@@ -67,9 +67,10 @@ mod error;
 mod params;
 pub mod properties;
 pub mod reconfigure;
+mod snapshot;
 
 pub use chain::{CompressionChain, SeparationChain};
 pub use color::Color;
 pub use config::{CanonicalForm, Configuration};
-pub use error::ConfigError;
+pub use error::{AuditReport, AuditViolation, ChainStateError, ConfigError};
 pub use params::{thresholds, Bias};

@@ -26,7 +26,6 @@ use crate::ConfigError;
 /// # Ok::<(), sops_core::ConfigError>(())
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bias {
     lambda: f64,
     gamma: f64,

@@ -1,0 +1,108 @@
+//! Checkpoint integration: wires [`Configuration`] into the
+//! crash-tolerant runner in `sops-chains`.
+//!
+//! [`sops_chains::StateCodec`] serializes the particle list in
+//! particle-index order — the derived counters (`e(σ)`, `h(σ)`) are
+//! recomputed on decode by [`Configuration::new`], so a snapshot can never
+//! smuggle inconsistent bookkeeping back in. [`sops_chains::Auditable`]
+//! delegates to [`Configuration::audit`], giving the checkpoint layer its
+//! refuse-to-persist-corrupt-state guarantee.
+
+use sops_chains::{Auditable, StateCodec};
+use sops_lattice::Node;
+
+use crate::{Color, Configuration};
+
+impl StateCodec for Configuration {
+    fn encode_state(&self) -> Vec<u8> {
+        // Layout: u32 particle count, then (i32 x, i32 y, u8 color) per
+        // particle, little-endian, in particle-index order — the order
+        // matters because the chain addresses particles by index.
+        let mut out = Vec::with_capacity(4 + self.len() * 9);
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for (node, color) in self.particles() {
+            out.extend_from_slice(&node.x.to_le_bytes());
+            out.extend_from_slice(&node.y.to_le_bytes());
+            out.push(color.index());
+        }
+        out
+    }
+
+    fn decode_state(bytes: &[u8]) -> Result<Self, String> {
+        let n = u32::from_le_bytes(
+            bytes
+                .get(..4)
+                .ok_or("truncated header")?
+                .try_into()
+                .expect("4-byte slice"),
+        ) as usize;
+        let body = &bytes[4..];
+        if body.len() != n * 9 {
+            return Err(format!(
+                "expected {} particle bytes for n = {n}, got {}",
+                n * 9,
+                body.len()
+            ));
+        }
+        let particles = body.chunks_exact(9).map(|chunk| {
+            let x = i32::from_le_bytes(chunk[..4].try_into().expect("4-byte slice"));
+            let y = i32::from_le_bytes(chunk[4..8].try_into().expect("4-byte slice"));
+            (Node::new(x, y), Color::new(chunk[8]))
+        });
+        Configuration::new(particles).map_err(|e| e.to_string())
+    }
+}
+
+impl Auditable for Configuration {
+    fn audit_violations(&self) -> Vec<String> {
+        self.audit().violation_messages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::construct;
+
+    #[test]
+    fn codec_round_trips_exactly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let nodes = construct::random_blob(40, &mut rng);
+        let config = Configuration::new(construct::bicolor_random(nodes, 17, &mut rng)).unwrap();
+        let back = Configuration::decode_state(&config.encode_state()).unwrap();
+        // Identity of particles (index → node, color) is preserved, not
+        // just the canonical shape.
+        assert_eq!(back.len(), config.len());
+        for i in 0..config.len() {
+            assert_eq!(back.position_of(i), config.position_of(i));
+            assert_eq!(back.color_of(i), config.color_of(i));
+        }
+        assert_eq!(back.edge_count(), config.edge_count());
+        assert_eq!(back.hetero_edge_count(), config.hetero_edge_count());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bytes_without_panicking() {
+        assert!(Configuration::decode_state(&[]).is_err());
+        assert!(Configuration::decode_state(&[1, 0]).is_err());
+        // Count says 2 particles, body holds 1.
+        let mut bytes = 2u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 9]);
+        assert!(Configuration::decode_state(&bytes).is_err());
+        // Duplicate node: structurally valid bytes, semantically invalid.
+        let mut bytes = 2u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 9]);
+        bytes.extend_from_slice(&[0; 9]);
+        let err = Configuration::decode_state(&bytes).unwrap_err();
+        assert!(err.contains("same node"), "{err}");
+    }
+
+    #[test]
+    fn audit_hook_reports_clean_state_as_empty() {
+        let config = construct::hexagonal_bicolored(20, 10).unwrap();
+        assert!(config.audit_violations().is_empty());
+    }
+}

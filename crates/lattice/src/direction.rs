@@ -26,7 +26,6 @@ use core::fmt;
 /// assert_eq!(Direction::from_index(4), Direction::SW);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum Direction {
     /// East, `(1, 0)`.

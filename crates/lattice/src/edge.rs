@@ -21,7 +21,6 @@ use crate::{Direction, Node};
 /// assert_eq!(Edge::new(a, b), Edge::new(b, a));
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge {
     u: Node,
     v: Node,

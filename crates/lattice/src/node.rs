@@ -24,7 +24,6 @@ use crate::{Direction, DIRECTIONS};
 /// assert_eq!(n.distance(Node::new(0, 0)), 2);
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Node {
     /// Axial x-coordinate.
     pub x: i32,

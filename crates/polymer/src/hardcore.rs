@@ -27,7 +27,10 @@ use sops_lattice::{region::Region, Node};
 pub fn hardcore_partition_function(region: &Region, fugacity: f64) -> f64 {
     let nodes = region.nodes();
     let n = nodes.len();
-    assert!(n <= 64, "hard-core enumeration limited to 64 nodes, got {n}");
+    assert!(
+        n <= 64,
+        "hard-core enumeration limited to 64 nodes, got {n}"
+    );
     let index = |v: Node| -> Option<usize> { nodes.iter().position(|&u| u == v) };
     // Neighbor masks.
     let masks: Vec<u64> = nodes
@@ -118,10 +121,7 @@ mod tests {
                     }
                 }
                 let fast = hardcore_partition_function(&region, fugacity);
-                assert!(
-                    (z - fast).abs() < 1e-9 * z,
-                    "λ = {fugacity}: {z} vs {fast}"
-                );
+                assert!((z - fast).abs() < 1e-9 * z, "λ = {fugacity}: {z} vs {fast}");
             }
         }
     }

@@ -33,7 +33,11 @@ fn full_pipeline_from_seed_to_certified_phases() {
     // 3. Its interface should be short and its color centroids split.
     let summary = interface::summarize(&config);
     assert!(summary.total_length as u64 == config.hetero_edge_count());
-    assert!(summary.total_length < 40, "interface {}", summary.total_length);
+    assert!(
+        summary.total_length < 40,
+        "interface {}",
+        summary.total_length
+    );
     let split = moments::centroid_separation(&config, Color::C1, Color::C2).unwrap();
     assert!(split > 0.5, "centroid separation {split}");
 
@@ -42,7 +46,10 @@ fn full_pipeline_from_seed_to_certified_phases() {
     let mut work = config.clone();
     reconfigure::apply(&mut work, &steps);
     let colors: Vec<Color> = config.particles().map(|(_, c)| c).collect();
-    assert_eq!(work.canonical_form(), reconfigure::sorted_line_form(&colors));
+    assert_eq!(
+        work.canonical_form(),
+        reconfigure::sorted_line_form(&colors)
+    );
 }
 
 #[test]

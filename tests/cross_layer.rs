@@ -137,6 +137,83 @@ fn enumerated_minimum_perimeter_matches_spiral() {
     }
 }
 
+/// Kill-and-resume smoke test across the stack: a checkpointed separation
+/// run that is interrupted mid-flight — with its newest snapshot then
+/// *corrupted* on disk, as a crash mid-write would leave it — resumes from
+/// the next-newest valid snapshot and finishes bitwise-identical to an
+/// uninterrupted run: same serialized state, same acceptance count, same
+/// observable log.
+#[test]
+fn checkpointed_run_survives_kill_and_corrupt_resume() {
+    use sops::chains::{CheckpointStore, MarkovChainCheckpointExt as _, StateCodec as _};
+    use std::io::Write as _;
+
+    let scratch = std::env::temp_dir().join(format!("sops-cross-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let n = 24;
+    let steps = 40_000;
+    let every = 4_000;
+    let bias = Bias::new(4.0, 4.0).unwrap();
+    let chain = SeparationChain::new(bias);
+    let seed_config = {
+        let mut rng = StdRng::seed_from_u64(77);
+        let nodes = construct::hexagonal_spiral(n);
+        Configuration::new(construct::bicolor_random(nodes, n / 2, &mut rng)).unwrap()
+    };
+    let observe = sops::analysis::metrics::hetero_fraction;
+
+    // Reference: uninterrupted run.
+    let store_a = CheckpointStore::open(scratch.join("a"), 3).unwrap();
+    let mut state_a = seed_config.clone();
+    let mut rng_a = StdRng::seed_from_u64(7);
+    let run_a = chain
+        .run_checkpointed(&mut state_a, steps, every, &mut rng_a, &store_a, observe)
+        .unwrap();
+
+    // "Killed" run: stops at 60%, and the snapshot written last is torn.
+    let store_b = CheckpointStore::open(scratch.join("b"), 3).unwrap();
+    let mut state_b = seed_config.clone();
+    let mut rng_b = StdRng::seed_from_u64(7);
+    chain
+        .run_checkpointed(
+            &mut state_b,
+            steps * 3 / 5,
+            every,
+            &mut rng_b,
+            &store_b,
+            observe,
+        )
+        .unwrap();
+    let newest = store_b.list().unwrap().pop().unwrap();
+    let torn = std::fs::read_to_string(&newest).unwrap();
+    let mut f = std::fs::File::create(&newest).unwrap();
+    f.write_all(&torn.as_bytes()[..torn.len() / 2]).unwrap();
+    drop(f);
+
+    // Resume with a *wrong-seed* RNG and a fresh state: both must be fully
+    // restored from the newest valid snapshot, not reused.
+    let mut state_c = seed_config.clone();
+    let mut rng_c = StdRng::seed_from_u64(999_999);
+    let run_c = chain
+        .run_checkpointed(&mut state_c, steps, every, &mut rng_c, &store_b, observe)
+        .unwrap();
+
+    assert_eq!(
+        run_c.rejected,
+        vec![newest],
+        "torn snapshot must be skipped"
+    );
+    assert!(run_c.resumed_from.is_some());
+    assert_eq!(state_c.encode_state(), state_a.encode_state());
+    assert_eq!(run_c.accepted, run_a.accepted);
+    assert_eq!(run_c.log.len(), run_a.log.len());
+    for (x, y) in run_c.log.iter().zip(&run_a.log) {
+        assert_eq!(x.0, y.0);
+        assert_eq!(x.1.to_bits(), y.1.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 /// End-to-end: starting from a line (maximal perimeter), the chain at
 /// compression-regime parameters reaches an α-compressed, separated state;
 /// at integration parameters it compresses but does not separate.

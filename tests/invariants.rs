@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sops::chains::MarkovChain;
+use sops::chains::{Checkpoint, MarkovChain, StateCodec};
 use sops::core::{construct, properties, Bias, Color, Configuration, SeparationChain};
 use sops::lattice::{Node, DIRECTIONS};
 
@@ -43,6 +43,8 @@ proptest! {
         prop_assert!(!config.has_holes());
         prop_assert_eq!(config.len(), n);
         prop_assert_eq!(config.color_counts(), colors_before);
+        let audit = config.audit();
+        prop_assert!(audit.is_consistent(), "audit violations: {:?}", audit.violations);
     }
 
     /// The incrementally maintained observables never drift from a from-
@@ -144,6 +146,59 @@ proptest! {
     fn properties_4_and_5_are_disjoint(bits in 0u16..256) {
         let occ: [bool; 8] = core::array::from_fn(|i| bits & (1 << i) != 0);
         prop_assert!(!(properties::property4(occ) && properties::property5(occ)));
+    }
+
+    /// Checkpoint text serialization is lossless for arbitrary
+    /// configurations, RNG snapshots, step counters, and observable logs
+    /// (including non-finite observable values, compared bit-for-bit).
+    #[test]
+    fn checkpoint_text_roundtrip_is_lossless(
+        seed in 0u64..10_000,
+        n in 2usize..30,
+        step in any::<u64>(),
+        accepted in any::<u64>(),
+        rng_state in proptest::collection::vec(any::<u8>(), 0..64),
+        log in proptest::collection::vec((any::<u64>(), any::<f64>()), 0..12),
+    ) {
+        let state = random_config(n, n / 2, seed);
+        let ckpt = Checkpoint { step, accepted, rng_state, log, state };
+        let text = ckpt.to_text();
+        let back = Checkpoint::<Configuration>::from_text(&text).unwrap();
+        prop_assert_eq!(back.step, ckpt.step);
+        prop_assert_eq!(back.accepted, ckpt.accepted);
+        prop_assert_eq!(&back.rng_state, &ckpt.rng_state);
+        prop_assert_eq!(back.log.len(), ckpt.log.len());
+        for (a, b) in back.log.iter().zip(&ckpt.log) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        prop_assert_eq!(back.state.encode_state(), ckpt.state.encode_state());
+    }
+
+    /// Any single-character corruption of a checkpoint snapshot is caught:
+    /// the checksum (or the line structure it protects) rejects the text.
+    /// The replacement character `z` never occurs in valid snapshots, so
+    /// every corruption is a genuine change.
+    #[test]
+    fn corrupted_checkpoint_text_is_rejected(
+        seed in 0u64..10_000,
+        n in 2usize..20,
+        position in any::<prop::sample::Index>(),
+    ) {
+        let state = random_config(n, n / 2, seed);
+        let ckpt = Checkpoint {
+            step: 17,
+            accepted: 5,
+            rng_state: vec![1, 2, 3, 4],
+            log: vec![(0, 0.5), (10, 0.25)],
+            state,
+        };
+        let text = ckpt.to_text();
+        let idx = position.index(text.len());
+        let mut corrupted: Vec<char> = text.chars().collect();
+        corrupted[idx] = 'z';
+        let corrupted: String = corrupted.into_iter().collect();
+        prop_assert!(Checkpoint::<Configuration>::from_text(&corrupted).is_err());
     }
 
     /// Canonical forms are invariant under arbitrary translations.

@@ -1,0 +1,439 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no network access and no
+//! crates.io mirror, so the real `rand` cannot be fetched. This crate
+//! implements, from scratch, exactly the API surface the workspace uses:
+//!
+//! * [`Rng`] — the raw generator trait (`next_u64`), object-safe and usable
+//!   through `&mut R` with `R: Rng + ?Sized` bounds;
+//! * [`RngExt`] — the convenience extension providing `random::<T>()` and
+//!   `random_range(..)`, blanket-implemented for every [`Rng`];
+//! * [`SeedableRng`] with `seed_from_u64` / `from_seed`;
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator (this is
+//!   **not** the cryptographic ChaCha generator of the real crate; it is a
+//!   fast, high-quality statistical PRNG, which is all the simulations
+//!   need);
+//! * [`seq::SliceRandom`] — `shuffle` and `choose`.
+//!
+//! Determinism contract: for a fixed seed the byte stream is stable across
+//! runs, platforms, and — because the crate is vendored — dependency
+//! upgrades. The experiment checkpoint/resume layer additionally relies on
+//! [`rngs::StdRng::to_state_bytes`] / [`rngs::StdRng::from_state_bytes`]
+//! (an extension the real crate lacks) to snapshot the generator mid-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+///
+/// Everything else (floats, ranges, shuffles) is derived from
+/// [`Rng::next_u64`], so implementing that single method yields the whole
+/// API via the blanket [`RngExt`] impl.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an [`Rng`] (the analogue of the
+/// real crate's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws a uniform value.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Draws a uniform value in `[0, span)` by rejection sampling (unbiased).
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Accept draws below the largest multiple of `span`; the rejection
+    // probability is < 2^-63 per iteration for any span < 2^63.
+    let zone = (u64::MAX / span) * span;
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % span;
+        }
+    }
+}
+
+/// A range of values that [`RngExt::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::from_rng(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a uniform value of type `T` (bool, ints, `f64` in `[0, 1)`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::from_rng(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a fixed-size byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` seed, expanded with SplitMix64
+    /// (so nearby seeds yield uncorrelated streams).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let k = chunk.len();
+            chunk.copy_from_slice(&bytes[..k]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: the standard seed expander for xoshiro-family generators.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not cryptographically secure (unlike the real crate's `StdRng`), but
+    /// fast, statistically strong, and — crucially for checkpoint/resume —
+    /// snapshottable via [`StdRng::to_state_bytes`].
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Serializes the full generator state (32 bytes, little-endian).
+        #[must_use]
+        pub fn to_state_bytes(&self) -> [u8; 32] {
+            let mut out = [0u8; 32];
+            for (chunk, word) in out.chunks_mut(8).zip(self.s) {
+                chunk.copy_from_slice(&word.to_le_bytes());
+            }
+            out
+        }
+
+        /// Restores a generator from [`StdRng::to_state_bytes`] output.
+        ///
+        /// An all-zero state (which xoshiro cannot escape) is re-seeded to a
+        /// fixed nonzero state rather than producing a degenerate stream.
+        #[must_use]
+        pub fn from_state_bytes(bytes: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(bytes.chunks(8)) {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                *word = u64::from_le_bytes(b);
+            }
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ by Blackman & Vigna (public domain reference).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let rng = Self::from_state_bytes(seed);
+            debug_assert_ne!(rng.s, [0; 4]);
+            rng
+        }
+    }
+}
+
+/// Slice sampling and shuffling.
+pub mod seq {
+    use super::{Rng, RngExt as _};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates, unbiased).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom as _;
+    use super::{Rng, RngExt as _, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let a: u64 = StdRng::seed_from_u64(1).random();
+        let b: u64 = StdRng::seed_from_u64(1).random();
+        let c: u64 = StdRng::seed_from_u64(2).random();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            rng.next_u64();
+        }
+        let snapshot = rng.to_state_bytes();
+        let tail: Vec<u64> = (0..50).map(|_| rng.next_u64()).collect();
+        let mut resumed = StdRng::from_state_bytes(snapshot);
+        let tail2: Vec<u64> = (0..50).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, tail2);
+    }
+
+    #[test]
+    fn all_zero_state_is_rescued() {
+        let mut rng = StdRng::from_state_bytes([0; 32]);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0..6usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.random_range(-3i32..3);
+            assert!((-3..3).contains(&v));
+            let w = rng.random_range(0..=5u8);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn f64_is_uniform_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        for _ in 0..1_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the identity (astronomically unlikely)"
+        );
+        assert!(v.as_slice().choose(&mut rng).is_some());
+    }
+
+    #[test]
+    fn dyn_compatible_through_unsized_bound() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            use super::RngExt as _;
+            rng.random_range(0..10u64)
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(draw(&mut rng) < 10);
+    }
+}
