@@ -6,38 +6,60 @@
 //! is warmed up, then timed over adaptive batches until a time budget is
 //! spent; the median per-iteration time is reported. Run with
 //! `cargo bench -p sops-bench`.
+//!
+//! Besides the console table, the run writes a machine-readable perf
+//! baseline to `BENCH_chain.json` at the repo root — per-size chain-step
+//! throughput plus the overhead of the disabled telemetry wrapper — and a
+//! demonstration telemetry stream to
+//! `results/logs/microbench-n100.telemetry.jsonl`.
+//!
+//! Pass `--smoke` (or set `SOPS_BENCH_SMOKE=1`) to shrink the warmup and
+//! time budgets ~10×; CI uses this to validate the emission paths without
+//! paying for stable medians.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use sops_amoebot::AmoebotSystem;
 use sops_analysis::{is_separated, separation_profile};
-use sops_chains::MarkovChain;
+use sops_bench::{instrument_chain, logs_dir, save_at_root, seed_hash};
+use sops_chains::telemetry::{json_f64, series_record_json};
+use sops_chains::{Instrumented, JsonlSink, MarkovChain, RunManifest};
 use sops_core::{construct, enumerate, properties, Bias, Color, Configuration, SeparationChain};
 use sops_lattice::region::Region;
 use sops_lattice::{Edge, Node, DIRECTIONS};
 use sops_polymer::partition::even_partition_function;
 use sops_polymer::{CutLoopModel, EvenSubgraphModel};
 
-/// Times `f`, returning the median ns/iteration over `SAMPLES` batches.
-fn bench(name: &str, mut f: impl FnMut()) {
-    const WARMUP: Duration = Duration::from_millis(200);
-    const BUDGET: Duration = Duration::from_millis(600);
-    const SAMPLES: usize = 11;
+static SMOKE: OnceLock<bool> = OnceLock::new();
 
-    // Warm up and estimate a batch size targeting ~BUDGET/SAMPLES per batch.
+/// Whether this run is a smoke pass (CI): tiny budgets, same code paths.
+fn smoke() -> bool {
+    *SMOKE.get_or_init(|| false)
+}
+
+/// Times `f`, printing and returning the median ns/iteration.
+fn bench(name: &str, mut f: impl FnMut()) -> f64 {
+    let (warmup, budget, samples) = if smoke() {
+        (Duration::from_millis(20), Duration::from_millis(60), 5)
+    } else {
+        (Duration::from_millis(200), Duration::from_millis(600), 11)
+    };
+
+    // Warm up and estimate a batch size targeting ~budget/samples per batch.
     let warm_start = Instant::now();
     let mut iters: u64 = 0;
-    while warm_start.elapsed() < WARMUP {
+    while warm_start.elapsed() < warmup {
         f();
         iters += 1;
     }
-    let per_iter = WARMUP.as_nanos() as u64 / iters.max(1);
-    let batch = (BUDGET.as_nanos() as u64 / SAMPLES as u64 / per_iter.max(1)).max(1);
+    let per_iter = warmup.as_nanos() as u64 / iters.max(1);
+    let batch = (budget.as_nanos() as u64 / samples as u64 / per_iter.max(1)).max(1);
 
-    let mut samples: Vec<f64> = (0..SAMPLES)
+    let mut timings: Vec<f64> = (0..samples)
         .map(|_| {
             let t = Instant::now();
             for _ in 0..batch {
@@ -46,10 +68,11 @@ fn bench(name: &str, mut f: impl FnMut()) {
             t.elapsed().as_nanos() as f64 / batch as f64
         })
         .collect();
-    samples.sort_by(f64::total_cmp);
-    let median = samples[SAMPLES / 2];
-    let spread = (samples[SAMPLES - 2] - samples[1]).max(0.0);
+    timings.sort_by(f64::total_cmp);
+    let median = timings[samples / 2];
+    let spread = (timings[samples - 2] - timings[1]).max(0.0);
     println!("{name:<44} {median:>12.1} ns/iter  (±{spread:.1}, batch {batch})");
+    median
 }
 
 fn seeded_config(n: usize) -> Configuration {
@@ -58,21 +81,185 @@ fn seeded_config(n: usize) -> Configuration {
     Configuration::new(construct::bicolor_random(nodes, n / 2, &mut rng)).unwrap()
 }
 
-fn bench_chain_step() {
+/// One row of the chain-step throughput baseline in `BENCH_chain.json`.
+struct Throughput {
+    n: usize,
+    swaps: bool,
+    ns_per_step: f64,
+}
+
+fn bench_chain_step() -> Vec<Throughput> {
+    let mut rows = Vec::new();
     for n in [25usize, 100, 400] {
         let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
         let mut config = seeded_config(n);
         let mut rng = StdRng::seed_from_u64(1);
-        bench(&format!("chain_step/with_swaps/{n}"), || {
+        let ns = bench(&format!("chain_step/with_swaps/{n}"), || {
             black_box(chain.step(&mut config, &mut rng));
+        });
+        rows.push(Throughput {
+            n,
+            swaps: true,
+            ns_per_step: ns,
         });
         let chain = SeparationChain::without_swaps(Bias::new(4.0, 4.0).unwrap());
         let mut config = seeded_config(n);
         let mut rng = StdRng::seed_from_u64(1);
-        bench(&format!("chain_step/without_swaps/{n}"), || {
+        let ns = bench(&format!("chain_step/without_swaps/{n}"), || {
             black_box(chain.step(&mut config, &mut rng));
         });
+        rows.push(Throughput {
+            n,
+            swaps: false,
+            ns_per_step: ns,
+        });
     }
+    rows
+}
+
+/// The tentpole acceptance measurement: stepping through a disabled
+/// `Instrumented` wrapper must cost (near) nothing relative to the bare
+/// chain; the enabled wrapper's bookkeeping cost is recorded for context.
+struct OverheadBaseline {
+    bare_ns: f64,
+    disabled_ns: f64,
+    enabled_ns: f64,
+}
+
+fn bench_instrumented_overhead() -> OverheadBaseline {
+    let n = 100usize;
+    let bias = Bias::new(4.0, 4.0).unwrap();
+    let samples = if smoke() { 7 } else { 21 };
+    let batch: u64 = if smoke() { 50_000 } else { 400_000 };
+
+    // Per-step cost depends on how compressed the state is, so burn each
+    // variant's configuration to quasi-steady state first; then interleave
+    // the timed batches round-robin across the three variants so machine
+    // drift (frequency scaling, background load) cancels instead of
+    // landing wholesale on whichever variant ran during the bad window.
+    let steady_config = || {
+        let chain = SeparationChain::new(bias);
+        let mut config = seeded_config(n);
+        let mut rng = StdRng::seed_from_u64(99);
+        chain.run(
+            &mut config,
+            if smoke() { 100_000 } else { 2_000_000 },
+            &mut rng,
+        );
+        config
+    };
+
+    let bare = SeparationChain::new(bias);
+    let disabled = instrument_chain(SeparationChain::new(bias), false);
+    let enabled = instrument_chain(SeparationChain::new(bias), true);
+    let mut states: Vec<(Configuration, StdRng)> = (0..3)
+        .map(|_| (steady_config(), StdRng::seed_from_u64(1)))
+        .collect();
+
+    let mut timed: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for _ in 0..samples {
+        for (variant, timings) in timed.iter_mut().enumerate() {
+            let (config, rng) = &mut states[variant];
+            let t = Instant::now();
+            for _ in 0..batch {
+                match variant {
+                    0 => black_box(bare.step(config, rng)),
+                    1 => black_box(disabled.step(config, rng)),
+                    _ => black_box(enabled.step(config, rng)),
+                };
+            }
+            timings.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let [bare_ns, disabled_ns, enabled_ns]: [f64; 3] = timed
+        .into_iter()
+        .map(median)
+        .collect::<Vec<_>>()
+        .try_into()
+        .unwrap();
+    for (name, ns) in [
+        ("instrumented/bare/100", bare_ns),
+        ("instrumented/disabled/100", disabled_ns),
+        ("instrumented/enabled/100", enabled_ns),
+    ] {
+        println!("{name:<44} {ns:>12.1} ns/iter  (interleaved, batch {batch})");
+    }
+
+    OverheadBaseline {
+        bare_ns,
+        disabled_ns,
+        enabled_ns,
+    }
+}
+
+/// Emits a short real telemetry stream so the JSONL path is exercised (and
+/// demonstrated) by every bench run: manifest, one metrics record, and the
+/// final observable series, at `results/logs/microbench-n100.telemetry.jsonl`.
+fn emit_demo_telemetry() -> std::io::Result<()> {
+    let steps: u64 = if smoke() { 20_000 } else { 200_000 };
+    let n = 100usize;
+    let mut rng = StdRng::seed_from_u64(seed_hash("microbench-telemetry", 0));
+    let mut config = seeded_config(n);
+    // Sampling interval scaled to the short run so the series is non-empty
+    // even in smoke mode (the experiment bins use OBSERVABLE_EVERY).
+    let chain = Instrumented::new(SeparationChain::new(Bias::new(4.0, 4.0).unwrap()))
+        .with_observable("perimeter", steps / 10, |c: &Configuration| {
+            c.perimeter() as f64
+        })
+        .with_observable("hetero_edges", steps / 10, |c: &Configuration| {
+            c.hetero_edge_count() as f64
+        });
+    let manifest = RunManifest {
+        run: "microbench/n=100".to_string(),
+        seed: seed_hash("microbench-telemetry", 0),
+        lambda: 4.0,
+        gamma: 4.0,
+        n: n as u64,
+        steps,
+    };
+    let path = logs_dir().join("microbench-n100.telemetry.jsonl");
+    let mut sink = JsonlSink::create(&path, &manifest)?;
+    chain.run(&mut config, steps / 2, &mut rng);
+    sink.record_metrics(0, &chain.report())?;
+    chain.run(&mut config, steps - steps / 2, &mut rng);
+    let report = chain.report();
+    sink.record_metrics(0, &report)?;
+    sink.record_line(&series_record_json(0, &report))?;
+    println!("  saved {}", path.display());
+    Ok(())
+}
+
+/// Renders and writes the `BENCH_chain.json` perf baseline at the repo root.
+fn write_bench_chain_json(throughput: &[Throughput], overhead: &OverheadBaseline) {
+    let mut json = String::from("{\n  \"bench\": \"chain\",\n");
+    json.push_str(&format!("  \"smoke\": {},\n", smoke()));
+    json.push_str("  \"throughput\": [\n");
+    for (i, row) in throughput.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"swaps\": {}, \"ns_per_step\": {}, \"steps_per_sec\": {}}}{}\n",
+            row.n,
+            row.swaps,
+            json_f64(row.ns_per_step),
+            json_f64(1e9 / row.ns_per_step),
+            if i + 1 < throughput.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    let overhead_pct = (overhead.disabled_ns / overhead.bare_ns - 1.0) * 100.0;
+    json.push_str(&format!(
+        "  \"instrumented_overhead\": {{\"bare_ns\": {}, \"disabled_ns\": {}, \
+         \"enabled_ns\": {}, \"disabled_overhead_pct\": {}}}\n",
+        json_f64(overhead.bare_ns),
+        json_f64(overhead.disabled_ns),
+        json_f64(overhead.enabled_ns),
+        json_f64(overhead_pct),
+    ));
+    json.push_str("}\n");
+    save_at_root("BENCH_chain.json", &json);
 }
 
 fn bench_properties() {
@@ -213,8 +400,15 @@ fn bench_figures_reduced() {
 }
 
 fn main() {
+    let smoke_requested = std::env::args().skip(1).any(|a| a == "--smoke")
+        || std::env::var_os("SOPS_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty());
+    SMOKE.set(smoke_requested).expect("smoke flag set once");
+    if smoke() {
+        println!("(smoke mode: reduced budgets, medians are not stable)");
+    }
     println!("{:<44} {:>12}", "benchmark", "median");
-    bench_chain_step();
+    let throughput = bench_chain_step();
+    let overhead = bench_instrumented_overhead();
     bench_properties();
     bench_observables();
     bench_separation_certificate();
@@ -223,4 +417,8 @@ fn main() {
     bench_node_map_vs_std();
     bench_amoebot();
     bench_figures_reduced();
+    write_bench_chain_json(&throughput, &overhead);
+    if let Err(e) = emit_demo_telemetry() {
+        eprintln!("telemetry demo stream failed: {e}");
+    }
 }

@@ -8,18 +8,24 @@
 //! from the newest valid snapshot (falling back past corrupt ones), and
 //! `--audit-every N` re-verifies configuration invariants from scratch as
 //! the loop proceeds. Per-cell outcomes land in
-//! `results/ablate_swaps-cells.json`.
+//! `results/ablate_swaps-cells.json`; each arm additionally streams step
+//! telemetry to `results/logs/ablate_swaps-*.telemetry.jsonl` unless
+//! `--no-telemetry` is passed — the outcome counters there show *why* the
+//! no-swap arm is slower (its `target_occupied_hold` count replaces the
+//! swap outcomes entirely).
 
 use sops_analysis::is_separated;
 use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
-use sops_bench::{seeded, Table};
-use sops_chains::{MarkovChain, Recovery, SnapshotRng as _};
+use sops_bench::{instrument_chain, seed_hash, seeded, Table};
+use sops_chains::telemetry::series_record_json;
+use sops_chains::{MarkovChain, Recovery, RunManifest, SnapshotRng as _};
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 
 const N: usize = 100;
 const CAP: u64 = 200_000_000;
 const CHECK_EVERY: u64 = 50_000;
 const REPLICATES: u64 = 3;
+const METRICS_EVERY: u64 = 1_000_000;
 
 fn time_to_separation(
     swaps: bool,
@@ -63,16 +69,34 @@ fn time_to_separation(
         }
     }
 
+    // Telemetry counts only this process's steps, so the resume offset t
+    // anchors every metrics record and the stream stays contiguous.
+    let t0 = t;
+    let cell = format!("swaps={swaps}-r{replicate}");
+    let chain = instrument_chain(chain, opts.telemetry);
+    let manifest = RunManifest {
+        run: format!("ablate_swaps/{cell}"),
+        seed: seed_hash("ablate-swaps", replicate * 2 + u64::from(swaps)),
+        lambda: 4.0,
+        gamma: 4.0,
+        n: N as u64,
+        steps: CAP,
+    };
+    let mut sink = opts
+        .telemetry_sink("ablate_swaps", &cell, &manifest, (t0 > 0).then_some(t0))
+        .map_err(|e| e.to_string())?;
+
     // Snapshots are written just before the separation check, so a cell
     // that hit separation at exactly step t resumes *at* its hitting
     // state; re-check before advancing or the resumed cell would report a
     // hitting time one chunk later than the uninterrupted run.
+    let mut hit = None;
     if t > 0 && is_separated(&config, 4.0, 0.2).is_some() {
-        return Ok(Some(t));
+        hit = Some(t);
     }
 
     let mut since_audit = 0u64;
-    while t < CAP {
+    while hit.is_none() && t < CAP {
         chain.run(&mut config, CHECK_EVERY, &mut rng);
         t += CHECK_EVERY;
         if let Some(every) = opts.audit_every {
@@ -90,11 +114,25 @@ fn time_to_separation(
                 .save_parts(t, 0, &rng.rng_state(), &[], &config)
                 .map_err(|e| e.to_string())?;
         }
+        if let Some(sink) = &mut sink {
+            if (t - t0) % METRICS_EVERY == 0 {
+                sink.record_metrics(t0, &chain.report())
+                    .map_err(|e| e.to_string())?;
+            }
+        }
         if is_separated(&config, 4.0, 0.2).is_some() {
-            return Ok(Some(t));
+            hit = Some(t);
         }
     }
-    Ok(None)
+
+    if let Some(sink) = &mut sink {
+        let report = chain.report();
+        sink.record_metrics(t0, &report)
+            .map_err(|e| e.to_string())?;
+        sink.record_line(&series_record_json(t0, &report))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(hit)
 }
 
 fn main() {

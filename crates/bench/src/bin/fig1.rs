@@ -2,14 +2,16 @@
 //! and contracted particles on it. Regenerated as `results/fig1.svg`.
 //!
 //! Accepts the shared supervision flags (`--checkpoint-dir`, `--resume`,
-//! `--audit-every`, `--retries`) for uniformity across the experiment
-//! bins; figure generation is fast and stateless, so only the retry
-//! supervision applies here. The cell outcome is recorded in
-//! `results/fig1-cells.json`.
+//! `--audit-every`, `--retries`, `--no-telemetry`) for uniformity across
+//! the experiment bins; figure generation is fast and stateless, so only
+//! the retry supervision applies here. The cell outcome is recorded in
+//! `results/fig1-cells.json`, and a minimal telemetry stream (manifest +
+//! one render event) lands in `results/logs/fig1-fig1.telemetry.jsonl`.
 
 use std::fmt::Write as _;
 
 use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
+use sops_chains::RunManifest;
 use sops_lattice::{Node, DIRECTIONS};
 
 fn render_fig1() -> String {
@@ -135,6 +137,26 @@ fn main() {
     let outcomes = run_cells(vec!["fig1"], opts.retries, |_, _attempt| {
         let svg = render_fig1();
         sops_bench::save("fig1.svg", &svg);
+        // Stateless render: the stream carries a manifest line plus one
+        // event record, keeping the log layout uniform across bins.
+        let manifest = RunManifest {
+            run: "fig1/fig1".to_string(),
+            seed: 0,
+            lambda: 1.0,
+            gamma: 1.0,
+            n: 0,
+            steps: 0,
+        };
+        if let Some(mut sink) = opts
+            .telemetry_sink("fig1", "fig1", &manifest, None)
+            .map_err(|e| e.to_string())?
+        {
+            sink.record_line(&format!(
+                "{{\"kind\":\"event\",\"event\":\"rendered\",\"svg_bytes\":{}}}",
+                svg.len()
+            ))
+            .map_err(|e| e.to_string())?;
+        }
         Ok::<_, String>(svg.len())
     });
     write_cell_report("fig1", &outcomes);

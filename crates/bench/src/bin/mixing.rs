@@ -14,17 +14,22 @@
 //! (state + RNG) every check interval, `--resume` picks up a killed sweep
 //! from the newest valid snapshot, and `--audit-every N` re-verifies the
 //! configuration invariants from scratch mid-run. Per-cell outcomes are
-//! recorded in `results/mixing-cells.json`.
+//! recorded in `results/mixing-cells.json`, and each cell streams step
+//! telemetry (outcome counters, acceptance windows, perimeter and
+//! hetero-edge series) to `results/logs/mixing-n-N.telemetry.jsonl`
+//! unless `--no-telemetry` is passed.
 
 use sops_analysis::is_separated;
 use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
-use sops_bench::{seeded, Table};
-use sops_chains::{MarkovChain, Recovery, SnapshotRng as _, TransitionMatrix};
+use sops_bench::{instrument_chain, seed_hash, seeded, Table};
+use sops_chains::telemetry::series_record_json;
+use sops_chains::{MarkovChain, Recovery, RunManifest, SnapshotRng as _, TransitionMatrix};
 use sops_core::enumerate::ExactSeparationChain;
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 
 const HIT_CHUNK: u64 = 25_000;
 const HIT_CAP: u64 = 500_000_000;
+const METRICS_EVERY: u64 = 1_000_000;
 
 fn hitting_cell(n: usize, opts: &SweepOptions) -> Result<Option<u64>, String> {
     let mut rng = seeded("mixing-hit", n as u64);
@@ -56,16 +61,39 @@ fn hitting_cell(n: usize, opts: &SweepOptions) -> Result<Option<u64>, String> {
         }
     }
 
+    // Telemetry: the report counts steps taken by *this* process, so the
+    // resume offset t becomes the base step of every metrics record and
+    // the stream stays contiguous across restarts.
+    let t0 = t;
+    let chain = instrument_chain(chain, opts.telemetry);
+    let manifest = RunManifest {
+        run: format!("mixing/n={n}"),
+        seed: seed_hash("mixing-hit", n as u64),
+        lambda: 4.0,
+        gamma: 4.0,
+        n: n as u64,
+        steps: HIT_CAP,
+    };
+    let mut sink = opts
+        .telemetry_sink(
+            "mixing",
+            &format!("n={n}"),
+            &manifest,
+            (t0 > 0).then_some(t0),
+        )
+        .map_err(|e| e.to_string())?;
+
     // Snapshots are written just before the separation check, so a cell
     // that hit separation at exactly step t resumes *at* its hitting
     // state; re-check before advancing or the resumed cell would report a
     // hitting time one chunk later than the uninterrupted run.
+    let mut hit = None;
     if t > 0 && is_separated(&config, 4.0, 0.2).is_some() {
-        return Ok(Some(t));
+        hit = Some(t);
     }
 
     let mut since_audit = 0u64;
-    while t < HIT_CAP {
+    while hit.is_none() && t < HIT_CAP {
         chain.run(&mut config, HIT_CHUNK, &mut rng);
         t += HIT_CHUNK;
         if let Some(every) = opts.audit_every {
@@ -83,11 +111,25 @@ fn hitting_cell(n: usize, opts: &SweepOptions) -> Result<Option<u64>, String> {
                 .save_parts(t, 0, &rng.rng_state(), &[], &config)
                 .map_err(|e| e.to_string())?;
         }
+        if let Some(sink) = &mut sink {
+            if (t - t0) % METRICS_EVERY == 0 {
+                sink.record_metrics(t0, &chain.report())
+                    .map_err(|e| e.to_string())?;
+            }
+        }
         if is_separated(&config, 4.0, 0.2).is_some() {
-            return Ok(Some(t));
+            hit = Some(t);
         }
     }
-    Ok(None)
+
+    if let Some(sink) = &mut sink {
+        let report = chain.report();
+        sink.record_metrics(t0, &report)
+            .map_err(|e| e.to_string())?;
+        sink.record_line(&series_record_json(t0, &report))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(hit)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

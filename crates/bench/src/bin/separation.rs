@@ -10,12 +10,16 @@
 //! a from-scratch invariant audit before each snapshot), `--resume`
 //! continues an interrupted sweep from those snapshots, `--retries K`
 //! bounds retry attempts per cell. Per-cell outcomes are recorded in
-//! `results/separation-cells.json`.
+//! `results/separation-cells.json`, and each γ-cell streams step telemetry
+//! (outcome counters, acceptance windows, observable series) to
+//! `results/logs/separation-gamma-G.telemetry.jsonl` unless
+//! `--no-telemetry` is passed.
 
 use sops_analysis::{is_separated, metrics};
 use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
-use sops_bench::{seeded, Table};
-use sops_chains::{MarkovChain, MarkovChainCheckpointExt as _};
+use sops_bench::{instrument_chain, seed_hash, seeded, Table};
+use sops_chains::telemetry::series_record_json;
+use sops_chains::{MarkovChain, MarkovChainCheckpointExt as _, RunManifest};
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 
 const N: usize = 100;
@@ -30,12 +34,15 @@ fn sweep_cell(gamma: f64, opts: &SweepOptions) -> Result<(f64, f64), String> {
     let mut config =
         Configuration::new(construct::bicolor_random(nodes, N / 2, &mut rng)).expect("valid seed");
     let chain = SeparationChain::new(Bias::new(LAMBDA, gamma).expect("valid bias"));
+    let chain = instrument_chain(chain, opts.telemetry);
 
     // Burn-in, checkpointed (and audited before every snapshot) when a
-    // checkpoint directory is configured.
+    // checkpoint directory is configured. The instrumented wrapper is a
+    // MarkovChain itself, so the checkpoint loop drives it unchanged.
     let store = opts
         .store_for(&format!("gamma={gamma:.4}"))
         .map_err(|e| e.to_string())?;
+    let mut resumed_at = None;
     match store {
         Some(store) => {
             let interval = opts.audit_every.unwrap_or(1_000_000);
@@ -44,6 +51,7 @@ fn sweep_cell(gamma: f64, opts: &SweepOptions) -> Result<(f64, f64), String> {
                     metrics::hetero_fraction(c)
                 })
                 .map_err(|e| e.to_string())?;
+            resumed_at = run.resumed_from;
             if let Some(step) = run.resumed_from {
                 eprintln!("gamma={gamma:.4}: resumed burn-in from step {step}");
             }
@@ -57,6 +65,27 @@ fn sweep_cell(gamma: f64, opts: &SweepOptions) -> Result<(f64, f64), String> {
         None => {
             chain.run(&mut config, BURN_IN, &mut rng);
         }
+    }
+
+    // Telemetry counts only this process's steps; a resumed burn-in
+    // anchors the stream at the snapshot step it continued from.
+    let t0 = resumed_at.unwrap_or(0);
+    let cell = format!("gamma={gamma:.4}");
+    let manifest = RunManifest {
+        run: format!("separation/{cell}"),
+        seed: seed_hash("separation", gamma.to_bits()),
+        lambda: LAMBDA,
+        gamma,
+        n: N as u64,
+        steps: BURN_IN + SAMPLES as u64 * SAMPLE_GAP,
+    };
+    let mut sink = opts
+        .telemetry_sink("separation", &cell, &manifest, resumed_at)
+        .map_err(|e| e.to_string())?;
+    if let Some(sink) = &mut sink {
+        // Burn-in metrics before sampling starts.
+        sink.record_metrics(t0, &chain.report())
+            .map_err(|e| e.to_string())?;
     }
 
     let mut separated = 0usize;
@@ -76,6 +105,13 @@ fn sweep_cell(gamma: f64, opts: &SweepOptions) -> Result<(f64, f64), String> {
         }
         separated += usize::from(is_separated(&config, 4.0, 0.2).is_some());
         hetero += metrics::hetero_fraction(&config);
+    }
+    if let Some(sink) = &mut sink {
+        let report = chain.report();
+        sink.record_metrics(t0, &report)
+            .map_err(|e| e.to_string())?;
+        sink.record_line(&series_record_json(t0, &report))
+            .map_err(|e| e.to_string())?;
     }
     Ok((separated as f64 / SAMPLES as f64, hetero / SAMPLES as f64))
 }

@@ -14,8 +14,31 @@ use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sops_chains::Instrumented;
+use sops_core::SeparationChain;
 
 pub mod supervisor;
+
+/// How often the instrumented experiment chains sample their observable
+/// series (perimeter, heterogeneous edges), in steps.
+pub const OBSERVABLE_EVERY: u64 = 25_000;
+
+/// Wraps a separation chain in the standard experiment instrument: outcome
+/// counters, acceptance-rate windows, and perimeter / heterogeneous-edge
+/// observable series sampled every [`OBSERVABLE_EVERY`] steps. With
+/// `enabled = false` the wrapper records nothing and forwards steps at
+/// (measured) near-zero overhead — see `BENCH_chain.json`.
+#[must_use]
+pub fn instrument_chain(chain: SeparationChain, enabled: bool) -> Instrumented<SeparationChain> {
+    if !enabled {
+        return Instrumented::disabled(chain);
+    }
+    Instrumented::new(chain)
+        .with_observable("perimeter", OBSERVABLE_EVERY, |c| c.perimeter() as f64)
+        .with_observable("hetero_edges", OBSERVABLE_EVERY, |c| {
+            c.hetero_edge_count() as f64
+        })
+}
 
 /// A fixed-width text table, printed to stdout and embeddable in
 /// EXPERIMENTS.md as-is.
@@ -94,6 +117,27 @@ pub fn out_dir() -> PathBuf {
     dir
 }
 
+/// The telemetry log directory (`results/logs/` under the workspace root),
+/// created on first use. JSONL metric streams from the experiment binaries
+/// land here (see EXPERIMENTS.md for the schema).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn logs_dir() -> PathBuf {
+    let dir = out_dir().join("logs");
+    std::fs::create_dir_all(&dir).expect("cannot create results/logs directory");
+    dir
+}
+
+/// The workspace root directory (where `Cargo.toml`, `BENCH_chain.json`,
+/// and the top-level docs live).
+#[must_use]
+pub fn repo_root() -> PathBuf {
+    workspace_root()
+}
+
 fn workspace_root() -> PathBuf {
     // crates/bench → workspace root is two levels up from this crate.
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -114,15 +158,35 @@ pub fn save(name: &str, content: &str) {
     println!("  saved {}", path.display());
 }
 
-/// A deterministic RNG for experiment `label` with the given replicate id.
+/// Saves a machine-readable artifact at the workspace root (e.g. the
+/// `BENCH_chain.json` perf baseline).
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn save_at_root(name: &str, content: &str) {
+    let path = repo_root().join(name);
+    std::fs::write(&path, content).expect("cannot write root artifact");
+    println!("  saved {}", path.display());
+}
+
+/// The seed value [`seeded`] derives for `(label, replicate)` — FNV-1a of
+/// the label XOR the replicate id. Exposed so run manifests can record the
+/// exact seed a run started from.
 #[must_use]
-pub fn seeded(label: &str, replicate: u64) -> StdRng {
+pub fn seed_hash(label: &str, replicate: u64) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for b in label.bytes() {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x1000_0000_01b3);
     }
-    StdRng::seed_from_u64(hash ^ replicate)
+    hash ^ replicate
+}
+
+/// A deterministic RNG for experiment `label` with the given replicate id.
+#[must_use]
+pub fn seeded(label: &str, replicate: u64) -> StdRng {
+    StdRng::seed_from_u64(seed_hash(label, replicate))
 }
 
 /// Maps `jobs` through `work` using one scoped thread per job

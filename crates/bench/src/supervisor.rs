@@ -9,7 +9,9 @@
 //!   persists per-cell snapshots there, `--resume` continues from them
 //!   (without it a fresh run clears stale cell state), `--audit-every N`
 //!   re-verifies configuration invariants from scratch every `N` steps,
-//!   and `--retries K` bounds per-cell retry attempts.
+//!   `--retries K` bounds per-cell retry attempts, and `--no-telemetry`
+//!   suppresses the per-cell JSONL metric streams under `results/logs/`
+//!   ([`SweepOptions::telemetry_sink`]).
 //! * **Cell isolation** ([`run_cells`]): each sweep cell runs under
 //!   `catch_unwind` with bounded retries, so one panicking cell costs that
 //!   cell, not the sweep.
@@ -22,7 +24,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
-use sops_chains::{CheckpointError, CheckpointStore};
+use sops_chains::{CheckpointError, CheckpointStore, JsonlSink, RunManifest};
 
 use crate::parallel_map;
 
@@ -39,6 +41,8 @@ pub struct SweepOptions {
     pub retries: u32,
     /// How many snapshots each cell retains.
     pub retain: usize,
+    /// Whether to emit per-cell JSONL telemetry under `results/logs/`.
+    pub telemetry: bool,
 }
 
 impl Default for SweepOptions {
@@ -49,6 +53,7 @@ impl Default for SweepOptions {
             audit_every: None,
             retries: 1,
             retain: 3,
+            telemetry: true,
         }
     }
 }
@@ -88,6 +93,7 @@ impl SweepOptions {
                         .parse()
                         .unwrap_or_else(|_| panic!("--retries expects a count: {v}"));
                 }
+                "--no-telemetry" => opts.telemetry = false,
                 other => eprintln!("ignoring unknown flag {other:?}"),
             }
         }
@@ -110,6 +116,36 @@ impl SweepOptions {
             std::fs::remove_dir_all(&cell_dir)?;
         }
         CheckpointStore::open(cell_dir, self.retain).map(Some)
+    }
+
+    /// Opens the JSONL telemetry sink for one sweep cell at
+    /// `results/logs/<bin>-<cell>.telemetry.jsonl`, or `None` when telemetry
+    /// is disabled via `--no-telemetry`.
+    ///
+    /// On a resumed run (`--resume` with `resumed_at`), an existing stream
+    /// for the cell is appended to — the sink records a `resumed` marker —
+    /// so one file holds the cell's full history across restarts. Otherwise
+    /// the stream is recreated from scratch with a fresh manifest line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the log file cannot be created or appended.
+    pub fn telemetry_sink(
+        &self,
+        bin: &str,
+        cell: &str,
+        manifest: &RunManifest,
+        resumed_at: Option<u64>,
+    ) -> std::io::Result<Option<JsonlSink>> {
+        if !self.telemetry {
+            return Ok(None);
+        }
+        let path = crate::logs_dir().join(format!("{bin}-{}.telemetry.jsonl", sanitize(cell)));
+        let sink = match resumed_at {
+            Some(step) if self.resume => JsonlSink::resume(&path, manifest, step)?,
+            _ => JsonlSink::create(&path, manifest)?,
+        };
+        Ok(Some(sink))
     }
 }
 
@@ -268,6 +304,7 @@ mod tests {
                 "50000",
                 "--retries",
                 "2",
+                "--no-telemetry",
                 "--bogus",
             ]
             .map(String::from),
@@ -276,6 +313,7 @@ mod tests {
         assert!(opts.resume);
         assert_eq!(opts.audit_every, Some(50_000));
         assert_eq!(opts.retries, 2);
+        assert!(!opts.telemetry);
     }
 
     #[test]
@@ -318,6 +356,26 @@ mod tests {
     fn store_for_is_none_without_checkpoint_dir() {
         let opts = SweepOptions::default();
         assert!(opts.store_for("cell").unwrap().is_none());
+    }
+
+    #[test]
+    fn telemetry_sink_is_none_when_disabled() {
+        let opts = SweepOptions {
+            telemetry: false,
+            ..SweepOptions::default()
+        };
+        let manifest = RunManifest {
+            run: "test/cell".to_string(),
+            seed: 0,
+            lambda: 4.0,
+            gamma: 4.0,
+            n: 10,
+            steps: 100,
+        };
+        assert!(opts
+            .telemetry_sink("test", "cell", &manifest, None)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub trait MarkovChain {
 
     /// Runs the chain while recording an observable every `every` steps
     /// (including one sample of the initial state at time 0).
+    ///
+    /// # Sample spacing
+    ///
+    /// When `every` does not divide `steps`, the final sample is recorded
+    /// at time `steps` — a *shorter* gap than the others — so the run never
+    /// under-reports its endpoint. Consumers that assume uniform spacing
+    /// (autocorrelation estimates, mixing-time binning) must check
+    /// [`Trajectory::is_uniformly_spaced`] or drop the final sample when
+    /// [`Trajectory::final_gap`] differs from [`Trajectory::every`].
     fn trajectory<R, F, T>(
         &self,
         state: &mut Self::State,
@@ -83,18 +92,27 @@ pub trait MarkovChain {
         Trajectory {
             samples,
             steps,
+            every,
             accepted,
         }
     }
 }
 
 /// A recorded trajectory of observable samples from a chain run.
+///
+/// Samples are spaced `every` steps apart, except possibly the final one:
+/// when `every` does not divide `steps`, the last sample sits at time
+/// `steps`, a gap of `steps % every`. [`Trajectory::is_uniformly_spaced`]
+/// and [`Trajectory::final_gap`] expose this so consumers never misbin.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Trajectory<T> {
     /// `(time, observable)` samples; the first entry is always time 0.
     pub samples: Vec<(u64, T)>,
     /// Total number of steps run.
     pub steps: u64,
+    /// The requested sampling interval; all gaps equal this except possibly
+    /// the final one (see [`Trajectory::final_gap`]).
+    pub every: u64,
     /// Number of accepted (state-changing) steps.
     pub accepted: u64,
 }
@@ -118,6 +136,26 @@ impl<T> Trajectory<T> {
             .last()
             .expect("trajectory always holds the time-0 sample")
             .1
+    }
+
+    /// The gap in steps between the last two samples (0 when fewer than two
+    /// samples exist). Equals [`Trajectory::every`] exactly when the
+    /// requested interval divides the total step count.
+    #[must_use]
+    pub fn final_gap(&self) -> u64 {
+        match self.samples.as_slice() {
+            [.., (a, _), (b, _)] => b - a,
+            _ => 0,
+        }
+    }
+
+    /// Whether every inter-sample gap equals [`Trajectory::every`] — i.e.
+    /// no irregular final sample was recorded. Uniform-spacing consumers
+    /// (autocorrelation, mixing-time binning) should check this before
+    /// treating the sample index as a time axis.
+    #[must_use]
+    pub fn is_uniformly_spaced(&self) -> bool {
+        self.samples.len() < 2 || self.final_gap() == self.every
     }
 }
 
@@ -169,6 +207,26 @@ mod tests {
         let tr = Cycle(7).trajectory(&mut s, 25, 10, &mut rng, |s| *s);
         let times: Vec<u64> = tr.samples.iter().map(|(t, _)| *t).collect();
         assert_eq!(times, vec![0, 10, 20, 25]);
+        // Regression: the irregular final sample is no longer silent — the
+        // trajectory carries the requested interval and flags the short gap.
+        assert_eq!(tr.every, 10);
+        assert_eq!(tr.final_gap(), 5);
+        assert!(!tr.is_uniformly_spaced());
+    }
+
+    #[test]
+    fn trajectory_spacing_uniform_when_interval_divides_steps() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut s = 0;
+        let tr = Cycle(7).trajectory(&mut s, 100, 10, &mut rng, |s| *s);
+        assert_eq!(tr.every, 10);
+        assert_eq!(tr.final_gap(), 10);
+        assert!(tr.is_uniformly_spaced());
+
+        // Degenerate cases: zero or one sample counts as uniform.
+        let tr0 = Cycle(7).trajectory(&mut s, 0, 10, &mut rng, |s| *s);
+        assert_eq!(tr0.final_gap(), 0);
+        assert!(tr0.is_uniformly_spaced());
     }
 
     #[test]

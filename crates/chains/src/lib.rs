@@ -16,7 +16,11 @@
 //! * [`metropolis`] — the Metropolis filter (Metropolis–Hastings acceptance
 //!   rule) used by Algorithm 1;
 //! * [`stats`] — empirical distributions, total-variation distance, and
-//!   time-series summaries for simulation output.
+//!   time-series summaries for simulation output;
+//! * [`telemetry`] — step-level observability: typed per-step outcome
+//!   classification ([`ClassifiedChain`]), an [`Instrumented`] wrapper
+//!   accumulating outcome counters / acceptance-rate windows / throughput /
+//!   observable time series, and a JSONL metrics sink with run manifests.
 //!
 //! # Example: verifying a two-state chain
 //!
@@ -49,6 +53,7 @@ pub mod checkpoint;
 mod exact;
 pub mod metropolis;
 pub mod stats;
+pub mod telemetry;
 
 pub use chain::{MarkovChain, Trajectory};
 pub use checkpoint::{
@@ -56,3 +61,7 @@ pub use checkpoint::{
     MarkovChainCheckpointExt, Recovery, SnapshotRng, StateCodec,
 };
 pub use exact::{EnumerableChain, TransitionMatrix};
+pub use telemetry::{
+    ClassifiedChain, Instrumented, JsonlSink, OutcomeClass, RingBuffer, RunManifest,
+    TelemetryReport,
+};

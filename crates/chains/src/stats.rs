@@ -76,20 +76,40 @@ impl<S: Eq + Hash + Clone> EmpiricalDistribution<S> {
     ///
     /// States observed empirically but absent from `exact` contribute their
     /// full empirical mass (they have probability 0 under `exact`).
+    ///
+    /// # Edge cases
+    ///
+    /// * Repeated states in `exact` are aggregated: their probabilities are
+    ///   summed before comparison, so a duplicated entry never counts the
+    ///   empirical frequency twice.
+    /// * An *empty* empirical distribution (nothing recorded) represents no
+    ///   distribution at all; by convention the distance is `1.0` (maximal)
+    ///   against a non-empty `exact`, and `0.0` when `exact` is also empty.
     #[must_use]
     pub fn total_variation_to<'a, I>(&self, exact: I) -> f64
     where
         I: IntoIterator<Item = (&'a S, f64)>,
         S: 'a,
     {
+        // Aggregate per state first: duplicated `exact` entries must sum
+        // their probability mass, not each re-count the empirical frequency.
+        let mut exact_mass: HashMap<&'a S, f64> = HashMap::new();
+        for (state, p) in exact {
+            *exact_mass.entry(state).or_insert(0.0) += p;
+        }
+        if self.total == 0 {
+            return if exact_mass.is_empty() { 0.0 } else { 1.0 };
+        }
         let mut tv = 0.0;
         let mut seen = 0.0;
-        for (state, p) in exact {
-            tv += (self.frequency(state) - p).abs();
-            seen += self.frequency(state);
+        for (state, p) in &exact_mass {
+            let f = self.frequency(state);
+            tv += (f - p).abs();
+            seen += f;
         }
-        // Empirical mass on states not covered by `exact`.
-        tv += 1.0 - seen;
+        // Empirical mass on states not covered by `exact`; clamp so float
+        // round-off in `seen` can never drive the distance negative.
+        tv += (1.0 - seen).max(0.0);
         tv / 2.0
     }
 
@@ -267,6 +287,36 @@ mod tests {
         let exact_skewed = [(0, 1.0), (1, 0.0)];
         let tv = e.total_variation_to(exact_skewed.iter().map(|(s, p)| (s, *p)));
         assert!((tv - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_aggregates_repeated_exact_states() {
+        let mut e = EmpiricalDistribution::new();
+        for x in [0, 1] {
+            e.record(x);
+        }
+        // Exact mass all on 0, split across duplicate entries. The old
+        // implementation compared f(0) = 0.5 against each half separately
+        // and reported distance 0; the true distance is 0.5.
+        let exact = [(0, 0.5), (0, 0.5)];
+        let tv = e.total_variation_to(exact.iter().map(|(s, p)| (s, *p)));
+        assert!((tv - 0.5).abs() < 1e-12, "tv = {tv}");
+
+        // Duplicates that agree with the empirical mass give distance 0.
+        let exact = [(0, 0.25), (0, 0.25), (1, 0.5)];
+        let tv = e.total_variation_to(exact.iter().map(|(s, p)| (s, *p)));
+        assert!(tv.abs() < 1e-12, "tv = {tv}");
+    }
+
+    #[test]
+    fn tv_of_empty_distribution_is_defined() {
+        let e: EmpiricalDistribution<i32> = EmpiricalDistribution::new();
+        // Nothing recorded vs a real distribution: maximal distance.
+        let exact = [(0, 0.5), (1, 0.5)];
+        let tv = e.total_variation_to(exact.iter().map(|(s, p)| (s, *p)));
+        assert_eq!(tv, 1.0);
+        // Nothing recorded vs nothing expected: zero distance.
+        assert_eq!(e.total_variation_to(std::iter::empty()), 0.0);
     }
 
     #[test]

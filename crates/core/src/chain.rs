@@ -3,10 +3,11 @@
 use rand::{Rng, RngExt as _};
 
 use sops_chains::metropolis::PowerRatio;
+use sops_chains::telemetry::ClassifiedChain;
 use sops_chains::MarkovChain;
-use sops_lattice::{Node, DIRECTIONS};
+use sops_lattice::{Direction, Node, DIRECTIONS};
 
-use crate::{properties, Bias, ChainStateError, Configuration};
+use crate::{properties, Bias, ChainStateError, Configuration, StepOutcome};
 
 /// The stochastic, local, distributed separation algorithm as a centralized
 /// Markov chain (Algorithm 1 of the paper).
@@ -152,58 +153,120 @@ impl SeparationChain {
             && config.occupied_neighbors(from) != 5
             && properties::movement_allowed(config, from, dir)
     }
-}
 
-impl MarkovChain for SeparationChain {
-    type State = Configuration;
-
-    fn step<R: Rng + ?Sized>(&self, config: &mut Configuration, rng: &mut R) -> bool {
+    /// Performs one transition, reporting *what happened* as a typed
+    /// [`StepOutcome`] — which guard rejected a move, whether the Metropolis
+    /// filter fired, or why an occupied target held.
+    ///
+    /// This is the real transition function; [`MarkovChain::step`] is a thin
+    /// wrapper returning [`StepOutcome::accepted`]. Both consume the exact
+    /// same RNG stream (particle index, direction, then lazily the filter's
+    /// uniform draw), so instrumenting a run cannot perturb it.
+    pub fn step_detailed<R: Rng + ?Sized>(
+        &self,
+        config: &mut Configuration,
+        rng: &mut R,
+    ) -> StepOutcome {
         // Step 1–2: uniform particle, uniform neighboring location, q ~ U(0,1)
         // (q is drawn lazily inside the Metropolis filter).
         let p = rng.random_range(0..config.len());
         let dir = DIRECTIONS[rng.random_range(0..6usize)];
-        let from = config.position_of(p);
+        self.propose(config, p, dir, rng)
+    }
+
+    /// Evaluates (and, if accepted, executes) the specific proposal
+    /// "particle `particle` attempts direction `dir`", classifying the
+    /// result. [`SeparationChain::step_detailed`] is this with the particle
+    /// and direction drawn uniformly; exposing the deterministic part lets
+    /// tests pin a proposal and assert its exact rejection reason.
+    ///
+    /// The RNG is consulted only for the Metropolis filter's uniform draw,
+    /// and only when the acceptance probability is strictly below 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `particle ≥ config.len()`.
+    pub fn propose<R: Rng + ?Sized>(
+        &self,
+        config: &mut Configuration,
+        particle: usize,
+        dir: Direction,
+        rng: &mut R,
+    ) -> StepOutcome {
+        let from = config.position_of(particle);
         let to = from.neighbor(dir);
 
         match config.color_at(to) {
             None => {
                 // Steps 3–8: expansion move.
                 if config.occupied_neighbors(from) == 5 {
-                    return false; // condition (i)
+                    return StepOutcome::MoveRejectedFiveNeighbors; // condition (i)
                 }
                 if !properties::movement_allowed(config, from, dir) {
-                    return false; // condition (ii)
+                    return StepOutcome::MoveRejectedProperty; // condition (ii)
                 }
                 // The source is the activated particle's own position, so
                 // the ratio cannot fail on a consistent configuration.
                 let Ok(ratio) = self.move_ratio(config, from, to) else {
                     debug_assert!(false, "activated particle vanished from {from}");
-                    return false;
+                    return StepOutcome::InvalidStateHold;
                 };
-                if ratio.accept(rng) {
-                    config.move_particle(p, to);
-                    true
-                } else {
-                    false
+                if !ratio.accept(rng) {
+                    return StepOutcome::MoveRejectedMetropolis;
+                }
+                match config.try_move_particle(particle, to) {
+                    Ok(()) => StepOutcome::MoveAccepted,
+                    Err(e) => {
+                        debug_assert!(false, "move corrupted counters: {e}");
+                        StepOutcome::InvalidStateHold
+                    }
                 }
             }
             Some(qcolor) => {
-                // Steps 9–10: swap move.
-                if !self.swaps || qcolor == config.color_of(p) {
-                    return false;
+                // Steps 9–10: swap move. Both holds return before the filter
+                // draws, so they leave the RNG stream untouched.
+                if qcolor == config.color_of(particle) {
+                    return StepOutcome::SameColorHold;
+                }
+                if !self.swaps {
+                    return StepOutcome::TargetOccupiedHold;
                 }
                 let Ok(ratio) = self.swap_ratio(config, from, to) else {
                     debug_assert!(false, "swap endpoints {from}/{to} lost their particles");
-                    return false;
+                    return StepOutcome::InvalidStateHold;
                 };
-                if ratio.accept(rng) {
-                    config.swap(from, to);
-                    true
-                } else {
-                    false
+                if !ratio.accept(rng) {
+                    return StepOutcome::SwapRejectedMetropolis;
+                }
+                match config.try_swap(from, to) {
+                    Ok(()) => StepOutcome::SwapAccepted,
+                    Err(e) => {
+                        debug_assert!(false, "swap corrupted counters: {e}");
+                        StepOutcome::InvalidStateHold
+                    }
                 }
             }
         }
+    }
+}
+
+impl MarkovChain for SeparationChain {
+    type State = Configuration;
+
+    fn step<R: Rng + ?Sized>(&self, config: &mut Configuration, rng: &mut R) -> bool {
+        self.step_detailed(config, rng).accepted()
+    }
+}
+
+impl ClassifiedChain for SeparationChain {
+    type Outcome = StepOutcome;
+
+    fn step_classified<R: Rng + ?Sized>(
+        &self,
+        config: &mut Configuration,
+        rng: &mut R,
+    ) -> StepOutcome {
+        self.step_detailed(config, rng)
     }
 }
 
@@ -260,6 +323,18 @@ impl MarkovChain for CompressionChain {
 
     fn step<R: Rng + ?Sized>(&self, config: &mut Configuration, rng: &mut R) -> bool {
         self.inner.step(config, rng)
+    }
+}
+
+impl ClassifiedChain for CompressionChain {
+    type Outcome = StepOutcome;
+
+    fn step_classified<R: Rng + ?Sized>(
+        &self,
+        config: &mut Configuration,
+        rng: &mut R,
+    ) -> StepOutcome {
+        self.inner.step_detailed(config, rng)
     }
 }
 
@@ -483,5 +558,194 @@ mod tests {
         let c = CompressionChain::new(6.0).unwrap();
         assert_eq!(c.lambda(), 6.0);
         assert!(CompressionChain::new(-1.0).is_err());
+    }
+
+    /// An RNG that panics if the chain consults it — proves a code path
+    /// never draws — or, scripted with values, replays them verbatim.
+    struct ScriptedRng(Vec<u64>);
+
+    impl ScriptedRng {
+        fn forbidden() -> Self {
+            ScriptedRng(Vec::new())
+        }
+    }
+
+    impl Rng for ScriptedRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+                .pop()
+                .expect("this code path must not consult the RNG")
+        }
+    }
+
+    fn tri() -> Configuration {
+        // (0,0) C1 [particle 0], (1,0) C1 [particle 1], (0,1) C2 [particle 2].
+        Configuration::new([
+            (sops_lattice::Node::new(0, 0), Color::C1),
+            (sops_lattice::Node::new(1, 0), Color::C1),
+            (sops_lattice::Node::new(0, 1), Color::C2),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn propose_classifies_same_color_hold_without_drawing() {
+        use crate::StepOutcome;
+        use sops_lattice::Direction;
+        let mut config = tri();
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        // Particle 0 (C1) proposes east into particle 1 (also C1).
+        let out = chain.propose(&mut config, 0, Direction::E, &mut ScriptedRng::forbidden());
+        assert_eq!(out, StepOutcome::SameColorHold);
+        assert!(!out.accepted());
+    }
+
+    #[test]
+    fn propose_classifies_target_occupied_hold_when_swaps_disabled() {
+        use crate::StepOutcome;
+        use sops_lattice::Direction;
+        let mut config = tri();
+        let chain = SeparationChain::without_swaps(Bias::new(4.0, 4.0).unwrap());
+        // Particle 0 (C1) proposes north-east into particle 2 (C2): a swap
+        // candidate, but swaps are off — and no RNG draw happens.
+        let out = chain.propose(&mut config, 0, Direction::NE, &mut ScriptedRng::forbidden());
+        assert_eq!(out, StepOutcome::TargetOccupiedHold);
+    }
+
+    #[test]
+    fn propose_classifies_zero_gain_swap_as_accepted_without_drawing() {
+        use crate::StepOutcome;
+        use sops_lattice::Direction;
+        let mut config = tri();
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        // Swapping particles 0 and 2: gain_i = gain_j = 0 (hand count on
+        // the triangle), so γ^0 = 1 certainly accepts — no draw.
+        let out = chain.propose(&mut config, 0, Direction::NE, &mut ScriptedRng::forbidden());
+        assert_eq!(out, StepOutcome::SwapAccepted);
+        assert_eq!(
+            config.color_at(sops_lattice::Node::new(0, 0)),
+            Some(Color::C2)
+        );
+    }
+
+    #[test]
+    fn propose_classifies_five_neighbor_guard() {
+        use crate::StepOutcome;
+        use sops_lattice::Direction;
+        // Center with exactly 5 occupied neighbors; SE (1,-1) is free.
+        let center = sops_lattice::Node::new(0, 0);
+        let mut particles = vec![(center, Color::C1)];
+        for dir in [
+            Direction::E,
+            Direction::NE,
+            Direction::NW,
+            Direction::W,
+            Direction::SW,
+        ] {
+            particles.push((center.neighbor(dir), Color::C2));
+        }
+        let mut config = Configuration::new(particles).unwrap();
+        assert_eq!(config.occupied_neighbors(center), 5);
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        let out = chain.propose(&mut config, 0, Direction::SE, &mut ScriptedRng::forbidden());
+        assert_eq!(out, StepOutcome::MoveRejectedFiveNeighbors);
+    }
+
+    #[test]
+    fn propose_classifies_property_rejection() {
+        use crate::StepOutcome;
+        use sops_lattice::Direction;
+        // A 3-line; lifting the middle particle to (1,1) would disconnect
+        // (0,0), so Properties 4/5 must forbid it.
+        let mut config = Configuration::new([
+            (sops_lattice::Node::new(0, 0), Color::C1),
+            (sops_lattice::Node::new(1, 0), Color::C1),
+            (sops_lattice::Node::new(2, 0), Color::C1),
+        ])
+        .unwrap();
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        assert!(!chain.move_valid(&config, sops_lattice::Node::new(1, 0), Direction::NE));
+        let out = chain.propose(&mut config, 1, Direction::NE, &mut ScriptedRng::forbidden());
+        assert_eq!(out, StepOutcome::MoveRejectedProperty);
+    }
+
+    #[test]
+    fn propose_classifies_metropolis_move_filter() {
+        use crate::StepOutcome;
+        use sops_lattice::Direction;
+        // Moving particle 2 from (0,1) east to (1,1) loses one edge:
+        // ratio = λ^{−1}. With λ = 1/2 the ratio is 2 ≥ 1 — accepted with
+        // no draw; with λ = 4 it is 1/4 — a near-1 uniform rejects it.
+        let chain = SeparationChain::new(Bias::new(0.5, 1.0).unwrap());
+        let mut config = tri();
+        let out = chain.propose(&mut config, 2, Direction::E, &mut ScriptedRng::forbidden());
+        assert_eq!(out, StepOutcome::MoveAccepted);
+        assert_eq!(config.position_of(2), sops_lattice::Node::new(1, 1));
+
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        let mut config = tri();
+        let out = chain.propose(
+            &mut config,
+            2,
+            Direction::E,
+            &mut ScriptedRng(vec![u64::MAX]),
+        );
+        assert_eq!(out, StepOutcome::MoveRejectedMetropolis);
+        assert_eq!(config.position_of(2), sops_lattice::Node::new(0, 1));
+    }
+
+    #[test]
+    fn propose_classifies_metropolis_swap_filter() {
+        use crate::StepOutcome;
+        use sops_lattice::Direction;
+        // C1 C1 C2 C2 line: swapping the middle pair costs one homogeneous
+        // neighbor on each side, exponent −2, ratio γ^{−2} = 1/16 < 1.
+        let mut config = Configuration::new([
+            (sops_lattice::Node::new(0, 0), Color::C1),
+            (sops_lattice::Node::new(1, 0), Color::C1),
+            (sops_lattice::Node::new(2, 0), Color::C2),
+            (sops_lattice::Node::new(3, 0), Color::C2),
+        ])
+        .unwrap();
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        let ratio = chain
+            .swap_ratio(
+                &config,
+                sops_lattice::Node::new(1, 0),
+                sops_lattice::Node::new(2, 0),
+            )
+            .unwrap();
+        assert!((ratio.value() - 1.0 / 16.0).abs() < 1e-15);
+        let out = chain.propose(
+            &mut config,
+            1,
+            Direction::E,
+            &mut ScriptedRng(vec![u64::MAX]),
+        );
+        assert_eq!(out, StepOutcome::SwapRejectedMetropolis);
+        assert_eq!(
+            config.color_at(sops_lattice::Node::new(1, 0)),
+            Some(Color::C1)
+        );
+    }
+
+    #[test]
+    fn step_detailed_and_step_consume_identical_rng_streams() {
+        // The wrapper relationship makes this structural, but pin it with
+        // an explicit bit-for-bit check across a long run anyway.
+        let chain = SeparationChain::new(Bias::new(4.0, 2.0).unwrap());
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let mut config_a = construct::hexagonal_bicolored(20, 10).unwrap();
+        let mut config_b = config_a.clone();
+        let mut accepted_a = 0u64;
+        let mut accepted_b = 0u64;
+        for _ in 0..20_000 {
+            accepted_a += u64::from(chain.step(&mut config_a, &mut rng_a));
+            accepted_b += u64::from(chain.step_detailed(&mut config_b, &mut rng_b).accepted());
+        }
+        assert_eq!(accepted_a, accepted_b);
+        assert_eq!(config_a.canonical_form(), config_b.canonical_form());
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "RNG streams diverged");
     }
 }

@@ -4,7 +4,7 @@ use core::fmt;
 
 use sops_lattice::{Direction, Node, NodeMap, NodeSet, DIRECTIONS};
 
-use crate::error::{AuditReport, AuditViolation};
+use crate::error::{AuditReport, AuditViolation, ChainStateError};
 use crate::{Color, ConfigError};
 
 /// Map payload: which particle sits on a node, and its color.
@@ -216,11 +216,34 @@ impl Configuration {
     /// The identity holds exactly for connected hole-free configurations
     /// (Lemma 9's proof, citing the compression paper); for configurations
     /// with holes it exceeds the boundary-walk length by the hole boundaries.
-    /// Saturates at 0 for the degenerate 1-particle case (where it is 0).
+    /// The degenerate 1-particle case (where `3n − 3 = 0 = e`) yields 0.
+    ///
+    /// Every consistent configuration satisfies `e(σ) ≤ 3n − 3`, so the
+    /// subtraction cannot underflow unless the tracked edge counter is
+    /// corrupt. That case trips a `debug_assert` and returns 0 in release
+    /// builds; [`Configuration::audit`] reports it as
+    /// [`crate::AuditViolation::PerimeterUnderflow`] rather than letting a
+    /// silently clamped 0 masquerade as a fully-compressed configuration.
     #[inline]
     #[must_use]
     pub fn perimeter(&self) -> u64 {
-        (3 * self.positions.len() as u64).saturating_sub(self.edges + 3)
+        let bound = 3 * self.positions.len() as u64;
+        match self
+            .edges
+            .checked_add(3)
+            .and_then(|held| bound.checked_sub(held))
+        {
+            Some(p) => p,
+            None => {
+                debug_assert!(
+                    false,
+                    "perimeter identity underflow: e = {} exceeds 3n − 3 = {}",
+                    self.edges,
+                    bound.saturating_sub(3)
+                );
+                0
+            }
+        }
     }
 
     /// Number of occupied neighbors of `node` (whether or not `node` itself
@@ -287,14 +310,61 @@ impl Configuration {
         count
     }
 
+    /// Applies a transition's local `delta` to a tracked counter with
+    /// checked arithmetic. On a consistent configuration no legal local
+    /// change can take a counter out of `u64` range, so an overflow or
+    /// underflow here proves the tracked value was already corrupt — it is
+    /// surfaced as a typed error instead of wrapping into a plausible value
+    /// the auditor could only catch much later.
+    fn checked_counter(
+        counter: &'static str,
+        tracked: u64,
+        delta: i64,
+    ) -> Result<u64, ChainStateError> {
+        let updated = if delta >= 0 {
+            tracked.checked_add(delta as u64)
+        } else {
+            tracked.checked_sub(delta.unsigned_abs())
+        };
+        updated.ok_or(ChainStateError::CounterCorruption {
+            counter,
+            tracked,
+            delta,
+        })
+    }
+
     /// Moves particle `index` to the adjacent unoccupied node `to`,
     /// maintaining the edge and heterogeneous-edge counts.
     ///
     /// # Panics
     ///
-    /// Panics if `to` is occupied, equals the particle's current node, or is
-    /// not adjacent to it.
+    /// Panics if `to` is occupied, equals the particle's current node, is
+    /// not adjacent to it, or the tracked counters are corrupt — see
+    /// [`Configuration::try_move_particle`] for the non-panicking form.
     pub fn move_particle(&mut self, index: usize, to: Node) {
+        self.try_move_particle(index, to)
+            .unwrap_or_else(|e| panic!("move_particle({index}, {to}): {e}"));
+    }
+
+    /// Moves particle `index` to the adjacent unoccupied node `to`,
+    /// maintaining the edge and heterogeneous-edge counts, with corrupt
+    /// tracked counters surfaced as typed errors (matching the
+    /// `move_ratio`/`swap_ratio` convention). On error the configuration is
+    /// left untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChainStateError::UnoccupiedSource`] — the particle table points
+    ///   at a node the occupancy map does not contain (corrupt state);
+    /// * [`ChainStateError::CounterCorruption`] — applying the move's local
+    ///   edge/hetero delta would wrap a tracked counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is occupied, equals the particle's current node, or
+    /// is not adjacent to it — those are caller API misuse, not state
+    /// corruption.
+    pub fn try_move_particle(&mut self, index: usize, to: Node) -> Result<(), ChainStateError> {
         let from = self.positions[index];
         assert!(
             from.is_adjacent(to),
@@ -304,36 +374,82 @@ impl Configuration {
         let slot = self
             .occupancy
             .remove(from)
-            .expect("particle index table out of sync with occupancy map");
+            .ok_or(ChainStateError::UnoccupiedSource(from))?;
         debug_assert_eq!(slot.index as usize, index);
         let color = slot.color;
 
         // With the particle lifted off the board, plain neighbor counts at
         // `from` and `to` are exactly the edges removed and added.
-        let old_deg = self.occupied_neighbors(from) as u64;
-        let old_het = (self.occupied_neighbors(from) - self.colored_neighbors(from, color)) as u64;
-        let new_deg = self.occupied_neighbors(to) as u64;
-        let new_het = (self.occupied_neighbors(to) - self.colored_neighbors(to, color)) as u64;
+        let old_deg = i64::from(self.occupied_neighbors(from));
+        let old_het =
+            i64::from(self.occupied_neighbors(from) - self.colored_neighbors(from, color));
+        let new_deg = i64::from(self.occupied_neighbors(to));
+        let new_het = i64::from(self.occupied_neighbors(to) - self.colored_neighbors(to, color));
 
-        self.edges = self.edges - old_deg + new_deg;
-        self.hetero = self.hetero - old_het + new_het;
-        self.occupancy.insert(to, slot);
-        self.positions[index] = to;
+        let outcome =
+            Self::checked_counter("edges", self.edges, new_deg - old_deg).and_then(|edges| {
+                Self::checked_counter("hetero", self.hetero, new_het - old_het)
+                    .map(|hetero| (edges, hetero))
+            });
+        match outcome {
+            Ok((edges, hetero)) => {
+                self.edges = edges;
+                self.hetero = hetero;
+                self.occupancy.insert(to, slot);
+                self.positions[index] = to;
+                Ok(())
+            }
+            Err(e) => {
+                // Put the lifted particle back so the failed transition
+                // leaves the (already corrupt, but unchanged) state intact
+                // for the auditor.
+                self.occupancy.insert(from, slot);
+                Err(e)
+            }
+        }
     }
 
     /// Swaps the particles at adjacent nodes `a` and `b` (a *swap move*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are not adjacent, either is unoccupied, or the
+    /// tracked hetero counter is corrupt — see [`Configuration::try_swap`]
+    /// for the non-panicking form.
+    pub fn swap(&mut self, a: Node, b: Node) {
+        self.try_swap(a, b)
+            .unwrap_or_else(|e| panic!("swap({a}, {b}): {e}"));
+    }
+
+    /// Swaps the particles at adjacent nodes `a` and `b` (a *swap move*),
+    /// with corrupt tracked counters surfaced as typed errors. On error the
+    /// configuration is left untouched.
     ///
     /// A same-color swap is a no-op on the configuration but is still
     /// performed (positions exchange); the edge counts are unaffected either
     /// way, and `h(σ)` is updated from the local neighborhoods.
     ///
+    /// # Errors
+    ///
+    /// * [`ChainStateError::UnoccupiedSource`] — `a` holds no particle;
+    /// * [`ChainStateError::UnoccupiedTarget`] — `b` holds no particle;
+    /// * [`ChainStateError::CounterCorruption`] — applying the swap's local
+    ///   hetero delta would wrap the tracked counter (previously this
+    ///   silently wrapped through an `as u64` cast).
+    ///
     /// # Panics
     ///
-    /// Panics if `a` and `b` are not adjacent or either is unoccupied.
-    pub fn swap(&mut self, a: Node, b: Node) {
+    /// Panics if `a` and `b` are not adjacent (caller API misuse).
+    pub fn try_swap(&mut self, a: Node, b: Node) -> Result<(), ChainStateError> {
         assert!(a.is_adjacent(b), "swap nodes {a} and {b} are not adjacent");
-        let sa = *self.occupancy.get(a).expect("swap node a is unoccupied");
-        let sb = *self.occupancy.get(b).expect("swap node b is unoccupied");
+        let sa = *self
+            .occupancy
+            .get(a)
+            .ok_or(ChainStateError::UnoccupiedSource(a))?;
+        let sb = *self
+            .occupancy
+            .get(b)
+            .ok_or(ChainStateError::UnoccupiedTarget(b))?;
         if sa.color != sb.color {
             // Recount heterogeneous edges in the two neighborhoods. The edge
             // (a, b) itself stays heterogeneous; edges to third parties flip
@@ -355,13 +471,14 @@ impl Configuration {
                     }
                 }
             }
-            self.hetero = (self.hetero as i64 + delta) as u64;
+            self.hetero = Self::checked_counter("hetero", self.hetero, delta)?;
         }
         // Physically exchange the particles.
         self.occupancy.insert(a, sb);
         self.occupancy.insert(b, sa);
         self.positions[sa.index as usize] = b;
         self.positions[sb.index as usize] = a;
+        Ok(())
     }
 
     /// Recomputes `(e(σ), h(σ))` from scratch. Used by tests to validate the
@@ -629,6 +746,20 @@ impl Configuration {
                 recomputed: edges,
             });
         }
+        // `perimeter()` clamps an underflowing identity to 0 in release
+        // builds; surface the corruption the clamp would hide. Checked on
+        // the *tracked* counter — the recomputed count can never violate
+        // the e ≤ 3n − 3 bound.
+        let underflows = self
+            .edges
+            .checked_add(3)
+            .is_none_or(|held| held > 3 * self.positions.len() as u64);
+        if underflows {
+            violations.push(AuditViolation::PerimeterUnderflow {
+                particles: self.positions.len(),
+                tracked_edges: self.edges,
+            });
+        }
         if hetero != self.hetero {
             violations.push(AuditViolation::HeteroCountDrift {
                 tracked: self.hetero,
@@ -824,6 +955,110 @@ mod tests {
     fn move_to_non_adjacent_panics() {
         let mut c = tri();
         c.move_particle(0, Node::new(3, 3));
+    }
+
+    #[test]
+    fn try_move_surfaces_counter_corruption_and_leaves_state_untouched() {
+        let mut c = tri();
+        // Moving the c2 particle off the triangle removes one net edge; a
+        // (deliberately) corrupted zero edge counter cannot absorb that.
+        c.edges = 0;
+        let before_positions: Vec<Node> = c.positions.clone();
+        let err = c.try_move_particle(2, Node::new(1, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            ChainStateError::CounterCorruption {
+                counter: "edges",
+                tracked: 0,
+                delta: -1,
+            }
+        );
+        assert!(err.to_string().contains("edges counter corrupt"));
+        // The failed transition restored the lifted particle: positions and
+        // occupancy are exactly as before.
+        assert_eq!(c.positions, before_positions);
+        assert_eq!(c.color_at(Node::new(0, 1)), Some(Color::C2));
+        assert!(!c.is_occupied(Node::new(1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "counter corrupt")]
+    fn move_panics_loudly_on_corrupt_counters() {
+        // Regression: this previously wrapped `edges` to u64::MAX (release)
+        // or panicked with a bare overflow message (debug) instead of
+        // naming the corrupted counter.
+        let mut c = tri();
+        c.edges = 0;
+        c.move_particle(2, Node::new(1, 1));
+    }
+
+    #[test]
+    fn try_swap_surfaces_hetero_corruption_and_leaves_state_untouched() {
+        // Line c1, c2, c1: swapping the last two particles drops one
+        // heterogeneous edge, which a corrupted zero counter cannot absorb.
+        let mut c = Configuration::new([
+            (Node::new(0, 0), Color::C1),
+            (Node::new(1, 0), Color::C2),
+            (Node::new(2, 0), Color::C1),
+        ])
+        .unwrap();
+        assert_eq!(c.hetero_edge_count(), 2);
+        c.hetero = 0;
+        let err = c.try_swap(Node::new(1, 0), Node::new(2, 0)).unwrap_err();
+        assert_eq!(
+            err,
+            ChainStateError::CounterCorruption {
+                counter: "hetero",
+                tracked: 0,
+                delta: -1,
+            }
+        );
+        // The particles did not exchange.
+        assert_eq!(c.color_at(Node::new(1, 0)), Some(Color::C2));
+        assert_eq!(c.color_at(Node::new(2, 0)), Some(Color::C1));
+    }
+
+    #[test]
+    fn try_swap_reports_unoccupied_endpoints() {
+        let mut c = tri();
+        let empty = Node::new(1, 1);
+        assert_eq!(
+            c.try_swap(empty, Node::new(1, 0)).unwrap_err(),
+            ChainStateError::UnoccupiedSource(empty)
+        );
+        assert_eq!(
+            c.try_swap(Node::new(1, 0), empty).unwrap_err(),
+            ChainStateError::UnoccupiedTarget(empty)
+        );
+    }
+
+    #[test]
+    fn audit_flags_perimeter_underflow_from_corrupt_edge_counter() {
+        let mut c = tri();
+        // 3n − 3 = 6 is the true maximum; a tracked count beyond it makes
+        // the perimeter identity underflow. `perimeter()` clamps to 0, so
+        // the audit must report the corruption explicitly.
+        c.edges = 100;
+        let report = c.audit();
+        assert!(!report.is_consistent());
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            AuditViolation::PerimeterUnderflow {
+                particles: 3,
+                tracked_edges: 100,
+            }
+        )));
+        assert!(report
+            .violation_messages()
+            .iter()
+            .any(|m| m.contains("underflow")));
+        // The drift itself is still reported separately.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::EdgeCountDrift { .. })));
+        // A consistent configuration reports neither.
+        assert!(tri().audit().is_consistent());
     }
 
     #[test]

@@ -71,6 +71,20 @@ pub enum ChainStateError {
     UnoccupiedSource(Node),
     /// A swap's partner node holds no particle.
     UnoccupiedTarget(Node),
+    /// Applying a transition's local delta to an incrementally-maintained
+    /// counter would underflow or overflow — the tracked value cannot be
+    /// right, since a consistent configuration always has room for any
+    /// legal local change. Earlier code silently wrapped here, converting
+    /// counter corruption into plausible-looking values the auditor could
+    /// only catch much later.
+    CounterCorruption {
+        /// Which counter (`"edges"` or `"hetero"`).
+        counter: &'static str,
+        /// The corrupted tracked value the delta was applied to.
+        tracked: u64,
+        /// The local delta the transition computed.
+        delta: i64,
+    },
 }
 
 impl fmt::Display for ChainStateError {
@@ -82,6 +96,14 @@ impl fmt::Display for ChainStateError {
             ChainStateError::UnoccupiedTarget(n) => {
                 write!(f, "swap target {n} holds no particle")
             }
+            ChainStateError::CounterCorruption {
+                counter,
+                tracked,
+                delta,
+            } => write!(
+                f,
+                "{counter} counter corrupt: tracked value {tracked} cannot absorb delta {delta}"
+            ),
         }
     }
 }
@@ -132,6 +154,18 @@ pub enum AuditViolation {
         /// The boundary-walk length computed by contour traversal.
         walk: u64,
     },
+    /// The *tracked* edge count is so large that the perimeter identity
+    /// `p(σ) = 3n − e(σ) − 3` underflows — impossible for any real
+    /// configuration (`e ≤ 3n − 3` always), so the counter is corrupt.
+    /// Reported separately from [`AuditViolation::EdgeCountDrift`] because
+    /// `Configuration::perimeter()` clamps this case to 0 and would
+    /// otherwise mask it.
+    PerimeterUnderflow {
+        /// Number of particles `n`.
+        particles: usize,
+        /// The corrupt tracked edge count.
+        tracked_edges: u64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -158,6 +192,15 @@ impl fmt::Display for AuditViolation {
             AuditViolation::PerimeterMismatch { identity, walk } => write!(
                 f,
                 "perimeter identity gives {identity} but boundary walk measures {walk}"
+            ),
+            AuditViolation::PerimeterUnderflow {
+                particles,
+                tracked_edges,
+            } => write!(
+                f,
+                "perimeter identity underflows: tracked edge count {tracked_edges} exceeds \
+                 the 3n − 3 = {} maximum for n = {particles}",
+                (3 * particles).saturating_sub(3)
             ),
         }
     }

@@ -64,6 +64,7 @@ mod config;
 pub mod construct;
 pub mod enumerate;
 mod error;
+mod outcome;
 mod params;
 pub mod properties;
 pub mod reconfigure;
@@ -73,4 +74,5 @@ pub use chain::{CompressionChain, SeparationChain};
 pub use color::Color;
 pub use config::{CanonicalForm, Configuration};
 pub use error::{AuditReport, AuditViolation, ChainStateError, ConfigError};
+pub use outcome::StepOutcome;
 pub use params::{thresholds, Bias};
