@@ -5,7 +5,7 @@ use rand::{Rng, RngExt as _};
 use sops_chains::metropolis::PowerRatio;
 use sops_chains::telemetry::ClassifiedChain;
 use sops_chains::MarkovChain;
-use sops_lattice::{Direction, Node, DIRECTIONS};
+use sops_lattice::{Direction, Node, DIRECTIONS, RING_FROM_SIDE, RING_TO_SIDE};
 
 use crate::{properties, Bias, ChainStateError, Configuration, StepOutcome};
 
@@ -180,6 +180,21 @@ impl SeparationChain {
     /// and direction drawn uniformly; exposing the deterministic part lets
     /// tests pin a proposal and assert its exact rejection reason.
     ///
+    /// This is the *fused* proposal kernel. The target is probed first, so
+    /// the two 1-probe holds (same color, swaps disabled) — the bulk of all
+    /// proposals on a compressed configuration — return immediately. Every
+    /// proposal that reaches a filter then makes one pass over the 8-node
+    /// combined neighborhood ([`Configuration::ring_gather`], eight
+    /// occupancy probes, no heap allocation), which yields the
+    /// `|N(ℓ)| = 5` guard, the Property-4/5 check (a
+    /// [`properties::MOVEMENT_ALLOWED`] table load), and every Metropolis
+    /// exponent as a masked popcount — at most 9 probes per proposal where
+    /// the unfused path re-probes overlapping neighborhoods ~39 times. It is
+    /// RNG-stream- and state-identical to
+    /// [`SeparationChain::propose_reference`], the unfused slow path kept as
+    /// the testing oracle; the equivalence is pinned bit-for-bit by the
+    /// `kernel_equivalence` test suite.
+    ///
     /// The RNG is consulted only for the Metropolis filter's uniform draw,
     /// and only when the acceptance probability is strictly below 1.
     ///
@@ -187,6 +202,90 @@ impl SeparationChain {
     ///
     /// Panics if `particle ≥ config.len()`.
     pub fn propose<R: Rng + ?Sized>(
+        &self,
+        config: &mut Configuration,
+        particle: usize,
+        dir: Direction,
+        rng: &mut R,
+    ) -> StepOutcome {
+        let from = config.position_of(particle);
+        let to = from.neighbor(dir);
+
+        match config.color_at(to) {
+            None => {
+                // Steps 3–8: expansion move. With the target unoccupied, the
+                // source's occupied neighbors are exactly the FROM-side ring
+                // positions and the vacated-source neighbor counts at the
+                // target are exactly the TO-side positions.
+                let ring = config.ring_gather(from, dir);
+                let e = ring.occupied_in(RING_FROM_SIDE);
+                if e == 5 {
+                    return StepOutcome::MoveRejectedFiveNeighbors; // condition (i)
+                }
+                if !properties::MOVEMENT_ALLOWED[ring.occupancy as usize] {
+                    return StepOutcome::MoveRejectedProperty; // condition (ii)
+                }
+                let color = config.color_of(particle);
+                let e_new = ring.occupied_in(RING_TO_SIDE);
+                let ei = ring.colored_in(RING_FROM_SIDE, color);
+                let ei_new = ring.colored_in(RING_TO_SIDE, color);
+                let ratio = PowerRatio::new(
+                    [self.bias.lambda(), self.bias.gamma()],
+                    [e_new - e, ei_new - ei],
+                );
+                if !ratio.accept(rng) {
+                    return StepOutcome::MoveRejectedMetropolis;
+                }
+                match config.try_move_particle(particle, to) {
+                    Ok(()) => StepOutcome::MoveAccepted,
+                    Err(_) => StepOutcome::InvalidStateHold,
+                }
+            }
+            Some(qcolor) => {
+                // Steps 9–10: swap move. Both holds return on the target
+                // probe alone — no ring gather, no RNG stream consumption.
+                let ci = config.color_of(particle);
+                if qcolor == ci {
+                    return StepOutcome::SameColorHold;
+                }
+                if !self.swaps {
+                    return StepOutcome::TargetOccupiedHold;
+                }
+                // |N_i(ℓ′)∖{P}| − |N_i(ℓ)| + |N_j(ℓ)∖{Q}| − |N_j(ℓ′)|; the
+                // pair's own (heterogeneous) edge never enters either term.
+                let ring = config.ring_gather(from, dir);
+                let gain_i =
+                    ring.colored_in(RING_TO_SIDE, ci) - ring.colored_in(RING_FROM_SIDE, ci);
+                let gain_j =
+                    ring.colored_in(RING_FROM_SIDE, qcolor) - ring.colored_in(RING_TO_SIDE, qcolor);
+                let ratio = PowerRatio::new([self.bias.gamma()], [gain_i + gain_j]);
+                if !ratio.accept(rng) {
+                    return StepOutcome::SwapRejectedMetropolis;
+                }
+                match config.try_swap(from, to) {
+                    Ok(()) => StepOutcome::SwapAccepted,
+                    Err(_) => StepOutcome::InvalidStateHold,
+                }
+            }
+        }
+    }
+
+    /// The unfused reference implementation of [`SeparationChain::propose`]:
+    /// independent [`Configuration`] probe sweeps plus
+    /// [`properties::movement_allowed`], [`SeparationChain::move_ratio`] and
+    /// [`SeparationChain::swap_ratio`].
+    ///
+    /// This is the slow path the fused kernel is proven against — it must
+    /// produce the same [`StepOutcome`], the same state mutation, and
+    /// consume the same RNG stream on every proposal. It is kept as a
+    /// first-class API (not test-only code) so the exact transition-matrix
+    /// construction, the amoebot translation, and the equivalence suite all
+    /// share one oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `particle ≥ config.len()`.
+    pub fn propose_reference<R: Rng + ?Sized>(
         &self,
         config: &mut Configuration,
         particle: usize,
@@ -206,9 +305,8 @@ impl SeparationChain {
                     return StepOutcome::MoveRejectedProperty; // condition (ii)
                 }
                 // The source is the activated particle's own position, so
-                // the ratio cannot fail on a consistent configuration.
+                // the ratio can only fail on a corrupted configuration.
                 let Ok(ratio) = self.move_ratio(config, from, to) else {
-                    debug_assert!(false, "activated particle vanished from {from}");
                     return StepOutcome::InvalidStateHold;
                 };
                 if !ratio.accept(rng) {
@@ -216,10 +314,7 @@ impl SeparationChain {
                 }
                 match config.try_move_particle(particle, to) {
                     Ok(()) => StepOutcome::MoveAccepted,
-                    Err(e) => {
-                        debug_assert!(false, "move corrupted counters: {e}");
-                        StepOutcome::InvalidStateHold
-                    }
+                    Err(_) => StepOutcome::InvalidStateHold,
                 }
             }
             Some(qcolor) => {
@@ -232,7 +327,6 @@ impl SeparationChain {
                     return StepOutcome::TargetOccupiedHold;
                 }
                 let Ok(ratio) = self.swap_ratio(config, from, to) else {
-                    debug_assert!(false, "swap endpoints {from}/{to} lost their particles");
                     return StepOutcome::InvalidStateHold;
                 };
                 if !ratio.accept(rng) {
@@ -240,10 +334,7 @@ impl SeparationChain {
                 }
                 match config.try_swap(from, to) {
                     Ok(()) => StepOutcome::SwapAccepted,
-                    Err(e) => {
-                        debug_assert!(false, "swap corrupted counters: {e}");
-                        StepOutcome::InvalidStateHold
-                    }
+                    Err(_) => StepOutcome::InvalidStateHold,
                 }
             }
         }
@@ -727,6 +818,183 @@ mod tests {
             config.color_at(sops_lattice::Node::new(1, 0)),
             Some(Color::C1)
         );
+    }
+
+    /// Builds one scenario per [`StepOutcome`] class: a configuration, the
+    /// chain to run, the proposal `(particle, dir)`, and the scripted draws
+    /// (empty = the path must not consult the RNG).
+    fn outcome_scenarios() -> Vec<(
+        StepOutcome,
+        SeparationChain,
+        Configuration,
+        usize,
+        Direction,
+    )> {
+        use sops_lattice::Node;
+        let bias = |l, g| Bias::new(l, g).unwrap();
+        let mut scenarios = Vec::new();
+
+        // MoveAccepted: λ < 1 makes an edge-losing move certainly accept.
+        scenarios.push((
+            StepOutcome::MoveAccepted,
+            SeparationChain::new(bias(0.5, 1.0)),
+            tri(),
+            2,
+            Direction::E,
+        ));
+        // MoveRejectedFiveNeighbors: center of a filled 5-star proposing SE.
+        let center = Node::new(0, 0);
+        let mut particles = vec![(center, Color::C1)];
+        for dir in [
+            Direction::E,
+            Direction::NE,
+            Direction::NW,
+            Direction::W,
+            Direction::SW,
+        ] {
+            particles.push((center.neighbor(dir), Color::C2));
+        }
+        scenarios.push((
+            StepOutcome::MoveRejectedFiveNeighbors,
+            SeparationChain::new(bias(4.0, 4.0)),
+            Configuration::new(particles).unwrap(),
+            0,
+            Direction::SE,
+        ));
+        // MoveRejectedProperty: lifting the middle of a 3-line disconnects.
+        scenarios.push((
+            StepOutcome::MoveRejectedProperty,
+            SeparationChain::new(bias(4.0, 4.0)),
+            Configuration::new([
+                (Node::new(0, 0), Color::C1),
+                (Node::new(1, 0), Color::C1),
+                (Node::new(2, 0), Color::C1),
+            ])
+            .unwrap(),
+            1,
+            Direction::NE,
+        ));
+        // MoveRejectedMetropolis: λ = 4 edge-losing move, near-1 uniform.
+        scenarios.push((
+            StepOutcome::MoveRejectedMetropolis,
+            SeparationChain::new(bias(4.0, 4.0)),
+            tri(),
+            2,
+            Direction::E,
+        ));
+        // SwapAccepted: zero-gain unlike-color swap, certain accept.
+        scenarios.push((
+            StepOutcome::SwapAccepted,
+            SeparationChain::new(bias(4.0, 4.0)),
+            tri(),
+            0,
+            Direction::NE,
+        ));
+        // SwapRejectedMetropolis: C1 C1 C2 C2 line, exponent −2, γ = 4.
+        scenarios.push((
+            StepOutcome::SwapRejectedMetropolis,
+            SeparationChain::new(bias(4.0, 4.0)),
+            Configuration::new([
+                (Node::new(0, 0), Color::C1),
+                (Node::new(1, 0), Color::C1),
+                (Node::new(2, 0), Color::C2),
+                (Node::new(3, 0), Color::C2),
+            ])
+            .unwrap(),
+            1,
+            Direction::E,
+        ));
+        // SameColorHold: C1 proposes into its C1 neighbor.
+        scenarios.push((
+            StepOutcome::SameColorHold,
+            SeparationChain::new(bias(4.0, 4.0)),
+            tri(),
+            0,
+            Direction::E,
+        ));
+        // TargetOccupiedHold: unlike-color target but swaps disabled.
+        scenarios.push((
+            StepOutcome::TargetOccupiedHold,
+            SeparationChain::without_swaps(bias(4.0, 4.0)),
+            tri(),
+            0,
+            Direction::NE,
+        ));
+        // InvalidStateHold: a certainly-accepted edge-losing move meets a
+        // corrupted zero edge counter — try_move_particle reports
+        // CounterCorruption and the step holds.
+        let mut corrupt = tri();
+        corrupt.corrupt_edges_for_test(0);
+        scenarios.push((
+            StepOutcome::InvalidStateHold,
+            SeparationChain::new(bias(0.5, 1.0)),
+            corrupt,
+            2,
+            Direction::E,
+        ));
+        scenarios
+    }
+
+    #[test]
+    fn every_outcome_class_matches_between_fused_and_reference_kernels() {
+        // Satellite coverage: all nine StepOutcome classes are produced by
+        // hand-built configurations, and the fused kernel classifies each
+        // identically to the unfused reference path (same outcome, same
+        // resulting state, same RNG consumption).
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for (expected, chain, config, particle, dir) in outcome_scenarios() {
+            let mut fused_config = config.clone();
+            let mut ref_config = config.clone();
+            // A scripted near-1 draw: paths that reach an uncertain filter
+            // reject; paths that must not draw leave it untouched.
+            let mut fused_rng = ScriptedRng(vec![u64::MAX]);
+            let mut ref_rng = ScriptedRng(vec![u64::MAX]);
+            let fused = chain.propose(&mut fused_config, particle, dir, &mut fused_rng);
+            let reference = chain.propose_reference(&mut ref_config, particle, dir, &mut ref_rng);
+            assert_eq!(fused, expected, "fused misclassified {expected}");
+            assert_eq!(reference, expected, "reference misclassified {expected}");
+            assert_eq!(
+                fused_config.canonical_form(),
+                ref_config.canonical_form(),
+                "state diverged on {expected}"
+            );
+            assert_eq!(
+                fused_rng.0.len(),
+                ref_rng.0.len(),
+                "RNG consumption diverged on {expected}"
+            );
+            seen.insert(expected);
+        }
+        assert_eq!(seen.len(), StepOutcome::ALL.len(), "a class is missing");
+    }
+
+    #[test]
+    fn invalid_state_hold_on_swap_counter_corruption() {
+        use sops_lattice::Node;
+        // γ = 1 certainly accepts the swap; the corrupted hetero counter
+        // then rejects the state mutation in both kernels, without drawing.
+        let mut config = Configuration::new([
+            (Node::new(0, 0), Color::C1),
+            (Node::new(1, 0), Color::C2),
+            (Node::new(2, 0), Color::C1),
+        ])
+        .unwrap();
+        config.corrupt_hetero_for_test(0);
+        let chain = SeparationChain::new(Bias::new(4.0, 1.0).unwrap());
+        let mut ref_config = config.clone();
+        let out = chain.propose(&mut config, 1, Direction::E, &mut ScriptedRng::forbidden());
+        let out_ref = chain.propose_reference(
+            &mut ref_config,
+            1,
+            Direction::E,
+            &mut ScriptedRng::forbidden(),
+        );
+        assert_eq!(out, StepOutcome::InvalidStateHold);
+        assert_eq!(out_ref, StepOutcome::InvalidStateHold);
+        // The failed swap left both states untouched.
+        assert_eq!(config.color_at(Node::new(1, 0)), Some(Color::C2));
+        assert_eq!(ref_config.color_at(Node::new(1, 0)), Some(Color::C2));
     }
 
     #[test]

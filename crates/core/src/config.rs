@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use sops_lattice::{Direction, Node, NodeMap, NodeSet, DIRECTIONS};
+use sops_lattice::{ring_offsets, Direction, Node, NodeMap, NodeSet, DIRECTIONS};
 
 use crate::error::{AuditReport, AuditViolation, ChainStateError};
 use crate::{Color, ConfigError};
@@ -308,6 +308,32 @@ impl Configuration {
             }
         }
         count
+    }
+
+    /// Gathers, in one pass, everything a chain proposal `(from, dir)`'s
+    /// filters need to know about its combined neighborhood:
+    /// `(occupied, color)` for each of the eight ring nodes around the pair
+    /// `(from, from + dir)` — the target itself is *not* probed, so callers
+    /// can branch on it first and skip the gather entirely for the 1-probe
+    /// hold outcomes.
+    ///
+    /// This is the fused alternative to probing
+    /// [`Configuration::occupied_neighbors`],
+    /// [`Configuration::colored_neighbors`], their `_excluding` variants and
+    /// [`crate::properties::ring_occupancy`] independently — eight occupancy
+    /// probes total instead of ~39, and no heap allocation.
+    #[inline]
+    #[must_use]
+    pub fn ring_gather(&self, from: Node, dir: Direction) -> RingGather {
+        let mut occupancy = 0u8;
+        let mut colors = [Color::C1; 8];
+        for (k, &off) in ring_offsets(dir).iter().enumerate() {
+            if let Some(c) = self.color_at(from + off) {
+                occupancy |= 1 << k;
+                colors[k] = c;
+            }
+        }
+        RingGather { occupancy, colors }
     }
 
     /// Applies a transition's local `delta` to a tracked counter with
@@ -812,6 +838,67 @@ impl Configuration {
             .collect();
         cells.sort_unstable();
         CanonicalForm { cells }
+    }
+}
+
+/// The result of [`Configuration::ring_gather`]: one proposal's combined
+/// neighborhood, gathered in a single pass.
+///
+/// Ring positions follow the cyclic layout of [`sops_lattice::ring`]; the
+/// side masks [`sops_lattice::RING_FROM_SIDE`] / [`sops_lattice::RING_TO_SIDE`]
+/// select the positions adjacent to the source and target respectively, so
+/// every neighbor count the Metropolis exponents need is a masked popcount
+/// over this gather.
+#[derive(Clone, Copy, Debug)]
+pub struct RingGather {
+    /// Bit `k` set iff ring position `k` is occupied — the index into
+    /// [`crate::properties::MOVEMENT_ALLOWED`].
+    pub occupancy: u8,
+    colors: [Color; 8],
+}
+
+impl RingGather {
+    /// Number of occupied ring positions selected by `mask`.
+    #[inline]
+    #[must_use]
+    pub fn occupied_in(&self, mask: u8) -> i32 {
+        (self.occupancy & mask).count_ones() as i32
+    }
+
+    /// Number of ring positions selected by `mask` holding a particle of
+    /// `color`.
+    #[inline]
+    #[must_use]
+    pub fn colored_in(&self, mask: u8, color: Color) -> i32 {
+        let mut count = 0;
+        let mut bits = self.occupancy & mask;
+        while bits != 0 {
+            let k = bits.trailing_zeros() as usize;
+            count += i32::from(self.colors[k] == color);
+            bits &= bits - 1;
+        }
+        count
+    }
+
+    /// The color at ring position `k`, if occupied.
+    #[inline]
+    #[must_use]
+    pub fn color_at(&self, k: usize) -> Option<Color> {
+        (self.occupancy & (1 << k) != 0).then(|| self.colors[k])
+    }
+}
+
+#[cfg(test)]
+impl Configuration {
+    /// Test-only: overwrites the tracked edge counter to simulate state
+    /// corruption (exercises the `InvalidStateHold` classification).
+    pub(crate) fn corrupt_edges_for_test(&mut self, edges: u64) {
+        self.edges = edges;
+    }
+
+    /// Test-only: overwrites the tracked heterogeneous-edge counter.
+    pub(crate) fn corrupt_hetero_for_test(&mut self, hetero: u64) {
+        self.hetero = hetero;
     }
 }
 

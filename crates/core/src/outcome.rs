@@ -50,8 +50,8 @@ pub enum StepOutcome {
     TargetOccupiedHold,
     /// The configuration failed an internal consistency check while
     /// evaluating the proposal (counter corruption or a vanished particle);
-    /// the step held and left the state untouched. Debug builds assert
-    /// before reaching this.
+    /// the step held and left the state untouched so the auditor can
+    /// diagnose it ([`Configuration::audit`](crate::Configuration::audit)).
     InvalidStateHold,
 }
 

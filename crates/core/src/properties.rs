@@ -28,7 +28,7 @@
 //! Consecutive ring nodes are lattice-adjacent and no chords exist, so paths
 //! "through `N(ℓ ∪ ℓ′)`" are exactly runs of consecutive occupied positions.
 
-use sops_lattice::{Direction, Node};
+use sops_lattice::{ring_offsets, Direction, Node};
 
 use crate::Configuration;
 
@@ -37,19 +37,15 @@ pub const S_POSITIONS: [usize; 2] = [1, 5];
 
 /// The eight nodes of the combined neighborhood of `ℓ` and `ℓ′ = ℓ + d`, in
 /// the cyclic order documented at the module level.
+///
+/// The per-direction offsets are precomputed at compile time in
+/// `sops-lattice` ([`sops_lattice::ring`]); this is eight vector additions,
+/// not eight rotations.
+#[inline]
 #[must_use]
 pub fn ring(from: Node, dir: Direction) -> [Node; 8] {
-    let to = from.neighbor(dir);
-    [
-        to.neighbor(dir.rotated_by(1)),
-        from.neighbor(dir.rotated_by(1)),
-        from.neighbor(dir.rotated_by(2)),
-        from.neighbor(dir.rotated_by(3)),
-        from.neighbor(dir.rotated_by(4)),
-        from.neighbor(dir.rotated_by(5)),
-        to.neighbor(dir.rotated_by(5)),
-        to.neighbor(dir),
-    ]
+    let offsets = ring_offsets(dir);
+    core::array::from_fn(|k| from + offsets[k])
 }
 
 /// Occupancy of the combined neighborhood ring in a configuration.
@@ -113,12 +109,110 @@ fn side_nonempty_and_connected(a: bool, b: bool, c: bool) -> bool {
 /// direction `dir`: Property 4 or Property 5 holds.
 ///
 /// This is condition (ii) of Step 6 in Algorithm 1; the caller separately
-/// enforces condition (i), `|N(ℓ)| ≠ 5`.
+/// enforces condition (i), `|N(ℓ)| ≠ 5`. Evaluated through
+/// [`MOVEMENT_ALLOWED`], so the check is one gather plus one table load —
+/// no allocation, no component scan.
 #[must_use]
 pub fn movement_allowed(config: &Configuration, from: Node, dir: Direction) -> bool {
-    let occ = ring_occupancy(config, from, dir);
-    property4(occ) || property5(occ)
+    let mut bits = 0u8;
+    for (k, &off) in ring_offsets(dir).iter().enumerate() {
+        bits |= u8::from(config.is_occupied(from + off)) << k;
+    }
+    MOVEMENT_ALLOWED[bits as usize]
 }
+
+/// Packs a ring-occupancy pattern into the bit layout [`MOVEMENT_ALLOWED`]
+/// is indexed by: bit `k` set iff ring position `k` is occupied.
+#[inline]
+#[must_use]
+pub fn pack_ring(occ: [bool; 8]) -> u8 {
+    let mut bits = 0u8;
+    for (k, &o) in occ.iter().enumerate() {
+        bits |= u8::from(o) << k;
+    }
+    bits
+}
+
+/// Property 4 on a packed ring pattern, evaluable at compile time.
+///
+/// Occupied positions decompose into maximal cyclic runs; each run must
+/// contain exactly one occupied S position (and at least one S position must
+/// be occupied). Equality with [`property4`] over all 256 patterns is proven
+/// by the exhaustive oracle tests below.
+const fn property4_bits(occ: u8) -> bool {
+    if occ & (1 << S_POSITIONS[0]) == 0 && occ & (1 << S_POSITIONS[1]) == 0 {
+        return false;
+    }
+    if occ == 0xFF {
+        // A single run containing both common neighbors.
+        return false;
+    }
+    // Start scanning just after an unoccupied position so runs do not wrap;
+    // every run is then flushed inside the loop (the scan ends back at the
+    // unoccupied start position).
+    let mut start = 0;
+    while (occ >> start) & 1 != 0 {
+        start += 1;
+    }
+    let mut s_in_run = 0u8;
+    let mut in_run = false;
+    let mut k = 1;
+    while k <= 8 {
+        let i = (start + k) % 8;
+        if (occ >> i) & 1 != 0 {
+            in_run = true;
+            if i == S_POSITIONS[0] || i == S_POSITIONS[1] {
+                s_in_run += 1;
+            }
+        } else {
+            if in_run && s_in_run != 1 {
+                return false;
+            }
+            in_run = false;
+            s_in_run = 0;
+        }
+        k += 1;
+    }
+    true
+}
+
+/// Property 5 on a packed ring pattern, evaluable at compile time.
+const fn property5_bits(occ: u8) -> bool {
+    if occ & (1 << S_POSITIONS[0]) != 0 || occ & (1 << S_POSITIONS[1]) != 0 {
+        return false;
+    }
+    // Each side is a 3-node path; "nonempty and connected" excludes the
+    // empty pattern and the two-endpoints-only pattern, which simplifies to:
+    // the middle is occupied, or exactly one endpoint is.
+    const fn side_ok(a: bool, b: bool, c: bool) -> bool {
+        b || (a ^ c)
+    }
+    side_ok(
+        occ & (1 << 2) != 0,
+        occ & (1 << 3) != 0,
+        occ & (1 << 4) != 0,
+    ) && side_ok(occ & (1 << 6) != 0, occ & (1 << 7) != 0, occ & 1 != 0)
+}
+
+const fn build_movement_lut() -> [bool; 256] {
+    let mut lut = [false; 256];
+    let mut bits = 0usize;
+    while bits < 256 {
+        lut[bits] = property4_bits(bits as u8) || property5_bits(bits as u8);
+        bits += 1;
+    }
+    lut
+}
+
+/// `MOVEMENT_ALLOWED[bits]` ⇔ `property4(occ) || property5(occ)` where
+/// `bits = pack_ring(occ)` — condition (ii) of Algorithm 1 as a single
+/// 256-entry compile-time table.
+///
+/// This is the proposal kernel's hot-path form of the movement conditions:
+/// the run-decomposition of [`property4`] (which allocates per call) runs
+/// once per pattern inside a `const fn` instead of once per proposal. The
+/// exhaustive 256-pattern tests pin the table to the predicate pair.
+pub static MOVEMENT_ALLOWED: [bool; 256] = build_movement_lut();
 
 /// Maximal runs of consecutive occupied ring positions (cyclically).
 fn occupied_components(occ: [bool; 8]) -> Vec<Vec<usize>> {
@@ -292,6 +386,56 @@ mod tests {
         .unwrap();
         // Tail tip can slide to (-1, 1) (Property 4 via common neighbor (0,0)... )
         assert!(movement_allowed(&config, Node::new(-1, 0), Direction::NE));
+    }
+
+    #[test]
+    fn movement_lut_equals_predicates_on_all_256_patterns() {
+        // The oracle: the LUT must agree with the run-decomposition
+        // predicates (themselves pinned to the literal BFS references above)
+        // on every possible ring pattern. Together with those tests this
+        // proves MOVEMENT_ALLOWED ≡ property4 ∨ property5 exhaustively.
+        for bits in 0u16..256 {
+            let occ = core::array::from_fn(|i| bits & (1 << i) != 0);
+            assert_eq!(pack_ring(occ), bits as u8);
+            assert_eq!(
+                MOVEMENT_ALLOWED[bits as usize],
+                property4(occ) || property5(occ),
+                "pattern {bits:#010b}"
+            );
+        }
+    }
+
+    #[test]
+    fn movement_allowed_agrees_with_unfused_ring_scan() {
+        // The LUT-backed movement_allowed must match re-deriving the ring
+        // occupancy and evaluating the predicates directly, on real
+        // configurations (not just abstract patterns).
+        let mut rng_state = 0x2545_f491_4f6c_dd1d_u64;
+        let mut nodes = vec![Node::new(0, 0)];
+        for _ in 0..60 {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            let base = nodes[(rng_state >> 8) as usize % nodes.len()];
+            let n = base.neighbor(DIRECTIONS[(rng_state % 6) as usize]);
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+        let config = Configuration::new(nodes.iter().map(|&n| (n, Color::C1))).unwrap();
+        for &n in &nodes {
+            for d in DIRECTIONS {
+                if config.is_occupied(n.neighbor(d)) {
+                    continue;
+                }
+                let occ = ring_occupancy(&config, n, d);
+                assert_eq!(
+                    movement_allowed(&config, n, d),
+                    property4(occ) || property5(occ),
+                    "at {n} dir {d}"
+                );
+            }
+        }
     }
 
     #[test]

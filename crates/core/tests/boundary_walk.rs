@@ -1,0 +1,80 @@
+//! Degenerate-input and exhaustive validation of
+//! [`Configuration::boundary_walk_length`] against the perimeter identity
+//! `p(σ) = 3n − e(σ) − 3` (paper, Definition of `p`; used by Lemma 6).
+//!
+//! The contour walk is an independent O(p) recomputation of the perimeter;
+//! on hole-free connected configurations the two must agree exactly. The
+//! degenerate shapes (single particle, dumbbell, straight lines) have empty
+//! interiors, so every edge is traversed twice by the walk — the cases where
+//! an off-by-one in the retreat-from-a-leaf scan would show up.
+
+use sops_core::{enumerate, Color, Configuration};
+use sops_lattice::{Node, DIRECTIONS};
+
+fn identity(config: &Configuration) -> u64 {
+    (3 * config.len() as u64)
+        .checked_sub(config.edge_count() + 3)
+        .expect("p = 3n − e − 3 is non-negative for connected configurations")
+}
+
+#[test]
+fn single_particle_walk_is_empty() {
+    let config = Configuration::new([(Node::ORIGIN, Color::C1)]).unwrap();
+    assert_eq!(config.boundary_walk_length(), 0);
+    assert_eq!(identity(&config), 0);
+    assert_eq!(config.perimeter(), 0);
+}
+
+#[test]
+fn dumbbell_walk_traverses_its_edge_twice_in_every_orientation() {
+    for dir in DIRECTIONS {
+        let config = Configuration::new([
+            (Node::ORIGIN, Color::C1),
+            (Node::ORIGIN.neighbor(dir), Color::C2),
+        ])
+        .unwrap();
+        assert_eq!(config.boundary_walk_length(), 2, "orientation {dir}");
+        assert_eq!(identity(&config), 2);
+    }
+}
+
+#[test]
+fn straight_line_walk_is_out_and_back() {
+    // A line of n particles has e = n − 1, so p = 3n − (n−1) − 3 = 2(n−1):
+    // the contour goes out along the top and retreats through every leaf.
+    for dir in DIRECTIONS {
+        for n in 2..=9_i32 {
+            let config = Configuration::new((0..n).map(|k| {
+                let mut node = Node::ORIGIN;
+                for _ in 0..k {
+                    node = node.neighbor(dir);
+                }
+                (node, if k % 2 == 0 { Color::C1 } else { Color::C2 })
+            }))
+            .unwrap();
+            assert_eq!(
+                config.boundary_walk_length(),
+                2 * (n as u64 - 1),
+                "line n={n} along {dir}"
+            );
+            assert_eq!(config.boundary_walk_length(), identity(&config));
+        }
+    }
+}
+
+#[test]
+fn walk_length_equals_perimeter_identity_on_all_hole_free_shapes() {
+    // Exhaustive over every connected hole-free shape (up to translation)
+    // of 1 ≤ n ≤ 9 particles: the walk, the tracked perimeter, and the
+    // identity 3n − e − 3 must pairwise agree.
+    for n in 1..=9 {
+        let shapes = enumerate::hole_free_shapes(n);
+        assert!(!shapes.is_empty());
+        for shape in &shapes {
+            let config = Configuration::new(shape.iter().map(|&nd| (nd, Color::C1))).unwrap();
+            let walk = config.boundary_walk_length();
+            assert_eq!(walk, identity(&config), "shape {shape:?}");
+            assert_eq!(walk, config.perimeter(), "shape {shape:?}");
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //!   nodes, fast enough for the ~10⁸ neighborhood probes a single Figure-2
 //!   run of the paper performs;
 //! * [`region`] — finite lattice regions (hexagons, parallelograms) used by
-//!   the polymer/cluster-expansion machinery.
+//!   the polymer/cluster-expansion machinery;
+//! * [`ring`] — compile-time offset tables for the 8-node combined
+//!   neighborhood of an adjacent node pair, the geometry underlying the
+//!   chain's fused proposal kernel.
 //!
 //! # Coordinates
 //!
@@ -45,12 +48,14 @@ mod edge;
 mod map;
 mod node;
 pub mod region;
+pub mod ring;
 pub mod symmetry;
 
 pub use direction::Direction;
 pub use edge::Edge;
 pub use map::{NodeMap, NodeSet};
 pub use node::Node;
+pub use ring::{ring_offsets, RING_COMMON, RING_FROM_SIDE, RING_OFFSETS, RING_TO_SIDE};
 
 /// All six lattice directions in counterclockwise order starting from `E`.
 ///

@@ -443,6 +443,121 @@ mod tests {
         assert_eq!(m.iter().count(), oracle.len());
     }
 
+    /// Finds `count` distinct nodes whose preferred slot in `map`'s current
+    /// table is exactly `idx`, by scanning a coordinate window.
+    fn nodes_preferring<V>(map: &NodeMap<V>, idx: usize, count: usize) -> Vec<Node> {
+        let mut found = Vec::new();
+        'scan: for x in -200..200 {
+            for y in -200..200 {
+                let n = Node::new(x, y);
+                if map.index_of(n.pack()) == idx {
+                    found.push(n);
+                    if found.len() == count {
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        assert_eq!(found.len(), count, "coordinate window too small");
+        found
+    }
+
+    #[test]
+    fn backward_shift_follows_chain_across_table_seam() {
+        // Three keys all preferring the last slot (`mask`) occupy slots
+        // mask, 0, 1; a fourth preferring slot 0 is pushed to slot 2. The
+        // chain therefore wraps the table seam. Removing the head forces
+        // backward-shift to walk the wrap and relocate every survivor.
+        let mut m: NodeMap<u32> = NodeMap::with_capacity(8);
+        let mask = m.mask;
+        let at_seam = nodes_preferring(&m, mask, 3);
+        let at_zero = nodes_preferring(&m, 0, 1);
+        let mut oracle = std::collections::HashMap::new();
+        for (v, &n) in at_seam.iter().chain(&at_zero).enumerate() {
+            assert_eq!(m.insert(n, v as u32), None);
+            oracle.insert(n, v as u32);
+        }
+        assert_eq!(m.probe(at_seam[0].pack()), Ok(mask));
+        assert_eq!(m.probe(at_seam[2].pack()), Ok(1));
+        assert_eq!(m.probe(at_zero[0].pack()), Ok(2));
+
+        // Remove the entry sitting exactly at the seam: the gap starts at
+        // `mask` and the shift must wrap through indices 0, 1, 2.
+        assert_eq!(m.remove(at_seam[0]), oracle.remove(&at_seam[0]));
+        for (&n, v) in &oracle {
+            assert_eq!(m.get(n), Some(v), "lost {n:?} after seam-wrapping shift");
+        }
+        assert_eq!(m.len(), oracle.len());
+
+        // Survivors must have shifted back across the seam, not left a hole.
+        assert_eq!(m.probe(at_seam[1].pack()), Ok(mask));
+        assert_eq!(m.probe(at_seam[2].pack()), Ok(0));
+        assert_eq!(m.probe(at_zero[0].pack()), Ok(1));
+    }
+
+    #[test]
+    fn backward_shift_leaves_home_entries_in_place_at_seam() {
+        // A gap at index 0 must NOT pull back an entry that already sits in
+        // its preferred slot 1, nor an entry preferring `mask` that never
+        // probed past the seam. The cyclic-interval test [preferred, j)
+        // distinguishes both cases.
+        let mut m: NodeMap<u32> = NodeMap::with_capacity(8);
+        let mask = m.mask;
+        let seam_pair = nodes_preferring(&m, mask, 2); // occupy mask, then 0
+        let home_one = nodes_preferring(&m, 1, 1); // collides with slot-0 spill
+        m.insert(seam_pair[0], 10);
+        m.insert(seam_pair[1], 11);
+        m.insert(home_one[0], 12);
+        assert_eq!(m.probe(seam_pair[1].pack()), Ok(0));
+        assert_eq!(m.probe(home_one[0].pack()), Ok(1));
+
+        // Removing the slot-0 spill leaves a gap at 0; the slot-1 entry is
+        // at home (gap not in [1, 1) cyclically) and must stay put.
+        assert_eq!(m.remove(seam_pair[1]), Some(11));
+        assert_eq!(m.probe(home_one[0].pack()), Ok(1));
+        assert_eq!(m.get(seam_pair[0]), Some(&10));
+        assert_eq!(m.get(home_one[0]), Some(&12));
+
+        // Removing the seam entry leaves a gap at `mask`; nothing after it
+        // belongs to its chain, so the table is unchanged elsewhere.
+        assert_eq!(m.remove(seam_pair[0]), Some(10));
+        assert_eq!(m.probe(home_one[0].pack()), Ok(1));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn seam_wrapping_churn_matches_oracle_without_growth() {
+        // Saturate a fixed-size table to its 50% load ceiling with keys
+        // biased toward the seam, then churn remove/insert so gaps repeatedly
+        // open at high indices while chains wrap to low ones.
+        let mut m: NodeMap<u32> = NodeMap::with_capacity(8);
+        let mask = m.mask;
+        let mut pool: Vec<Node> = Vec::new();
+        for idx in [mask, mask - 1, mask.div_euclid(2), 0, 1] {
+            pool.extend(nodes_preferring(&m, idx, 4));
+        }
+        let mut oracle = std::collections::HashMap::new();
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
+        for step in 0..40_000_u32 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let n = pool[(state >> 32) as usize % pool.len()];
+            // Keep ≤ 7 live entries so with_capacity(8)'s 16-slot table
+            // never grows: every shift stays in the seam-heavy layout.
+            if state % 5 < 2 && oracle.len() < 7 {
+                assert_eq!(m.insert(n, step), oracle.insert(n, step), "step {step}");
+            } else {
+                assert_eq!(m.remove(n), oracle.remove(&n), "step {step}");
+            }
+            assert_eq!(m.len(), oracle.len());
+        }
+        assert_eq!(m.slots.len(), 16, "table grew; seam layout not exercised");
+        for (&n, v) in &oracle {
+            assert_eq!(m.get(n), Some(v));
+        }
+    }
+
     #[test]
     fn iteration_covers_all_entries() {
         let mut m = NodeMap::new();

@@ -83,6 +83,40 @@ proptest! {
         prop_assert_eq!(map.iter().count(), oracle.len());
     }
 
+    /// Remove-heavy churn against the HashMap oracle: batches are inserted
+    /// into a deliberately tiny table and then mostly removed in arbitrary
+    /// order, so backward-shift deletion repeatedly compacts long probe
+    /// chains (including chains wrapping the table seam) rather than the
+    /// insert-dominated traffic of the generic oracle test above.
+    #[test]
+    fn node_map_survives_remove_heavy_churn(
+        batches in prop::collection::vec(
+            (
+                prop::collection::vec((-5i32..5, -5i32..5), 1..24),
+                prop::collection::vec(any::<prop::sample::Index>(), 0..32),
+            ),
+            1..12,
+        )
+    ) {
+        let mut map = NodeMap::with_capacity(8);
+        let mut oracle = std::collections::HashMap::new();
+        for (inserts, removals) in batches {
+            let batch: Vec<Node> = inserts.iter().map(|&(x, y)| Node::new(x, y)).collect();
+            for (v, &n) in batch.iter().enumerate() {
+                prop_assert_eq!(map.insert(n, v), oracle.insert(n, v));
+            }
+            for idx in removals {
+                let n = batch[idx.index(batch.len())];
+                prop_assert_eq!(map.remove(n), oracle.remove(&n));
+                prop_assert_eq!(map.len(), oracle.len());
+            }
+            for (&n, v) in &oracle {
+                prop_assert_eq!(map.get(n), Some(v));
+            }
+            prop_assert_eq!(map.iter().count(), oracle.len());
+        }
+    }
+
     /// NodeSet insert/remove/contains semantics.
     #[test]
     fn node_set_semantics(nodes in prop::collection::vec((-50i32..50, -50i32..50), 0..100)) {
