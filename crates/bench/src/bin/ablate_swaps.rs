@@ -14,11 +14,13 @@
 //! no-swap arm is slower (its `target_occupied_hold` count replaces the
 //! swap outcomes entirely).
 
+use std::ops::ControlFlow;
+
 use sops_analysis::is_separated;
-use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
-use sops_bench::{instrument_chain, seed_hash, seeded, Table};
+use sops_bench::supervisor::{run_cells, write_cell_report, CellContext, SweepOptions};
+use sops_bench::{instrument_chain, seed_hash_attempt, seeded_attempt, Table};
 use sops_chains::telemetry::series_record_json;
-use sops_chains::{MarkovChain, Recovery, RunManifest, SnapshotRng as _};
+use sops_chains::{run_supervised, MarkovChain, Recovery, RunManifest, SupervisedOptions};
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 
 const N: usize = 100;
@@ -31,8 +33,15 @@ fn time_to_separation(
     swaps: bool,
     replicate: u64,
     opts: &SweepOptions,
+    ctx: &CellContext<'_>,
 ) -> Result<Option<u64>, String> {
-    let mut rng = seeded("ablate-swaps", replicate * 2 + u64::from(swaps));
+    // Attempt 1 reproduces the published seed; a retry draws a fresh
+    // stream so a seed-dependent fault is not re-hit verbatim.
+    let mut rng = seeded_attempt(
+        "ablate-swaps",
+        replicate * 2 + u64::from(swaps),
+        ctx.attempt,
+    );
     let nodes = construct::hexagonal_spiral(N);
     let mut config =
         Configuration::new(construct::bicolor_random(nodes, N / 2, &mut rng)).expect("valid seed");
@@ -46,11 +55,17 @@ fn time_to_separation(
     let store = opts
         .store_for(&format!("swaps={swaps}-r{replicate}"))
         .map_err(|e| e.to_string())?;
-    let mut t = 0u64;
+
+    // Peek at the newest snapshot before running: snapshots are written at
+    // the chunk that hit separation, so a resumed cell whose snapshot is
+    // already separated must report that step, not one chunk later.
+    let mut t0 = 0u64;
+    let mut hit = None;
     if let Some(store) = &store {
         let Recovery {
             checkpoint,
             rejected,
+            reaped,
         } = store
             .recover::<Configuration>()
             .map_err(|e| e.to_string())?;
@@ -60,23 +75,32 @@ fn time_to_separation(
                 path.display()
             );
         }
+        for path in &reaped {
+            eprintln!(
+                "swaps={swaps} r{replicate}: reaped orphaned temp file {}",
+                path.display()
+            );
+        }
         if let Some(ckpt) = checkpoint {
-            rng.restore_rng_state(&ckpt.rng_state)
-                .map_err(|e| format!("bad RNG snapshot: {e}"))?;
-            config = ckpt.state;
-            t = ckpt.step;
-            eprintln!("swaps={swaps} r{replicate}: resumed at step {t}");
+            t0 = ckpt.step;
+            eprintln!("swaps={swaps} r{replicate}: resuming at step {t0}");
+            if is_separated(&ckpt.state, 4.0, 0.2).is_some() {
+                hit = Some(ckpt.step);
+            }
         }
     }
 
-    // Telemetry counts only this process's steps, so the resume offset t
+    // Telemetry counts only this process's steps, so the resume offset t0
     // anchors every metrics record and the stream stays contiguous.
-    let t0 = t;
     let cell = format!("swaps={swaps}-r{replicate}");
     let chain = instrument_chain(chain, opts.telemetry);
     let manifest = RunManifest {
         run: format!("ablate_swaps/{cell}"),
-        seed: seed_hash("ablate-swaps", replicate * 2 + u64::from(swaps)),
+        seed: seed_hash_attempt(
+            "ablate-swaps",
+            replicate * 2 + u64::from(swaps),
+            ctx.attempt,
+        ),
         lambda: 4.0,
         gamma: 4.0,
         n: N as u64,
@@ -86,42 +110,89 @@ fn time_to_separation(
         .telemetry_sink("ablate_swaps", &cell, &manifest, (t0 > 0).then_some(t0))
         .map_err(|e| e.to_string())?;
 
-    // Snapshots are written just before the separation check, so a cell
-    // that hit separation at exactly step t resumes *at* its hitting
-    // state; re-check before advancing or the resumed cell would report a
-    // hitting time one chunk later than the uninterrupted run.
-    let mut hit = None;
-    if t > 0 && is_separated(&config, 4.0, 0.2).is_some() {
-        hit = Some(t);
-    }
-
-    let mut since_audit = 0u64;
-    while hit.is_none() && t < CAP {
-        chain.run(&mut config, CHECK_EVERY, &mut rng);
-        t += CHECK_EVERY;
-        if let Some(every) = opts.audit_every {
-            since_audit += CHECK_EVERY;
-            if since_audit >= every {
-                since_audit = 0;
-                let report = config.audit();
-                if !report.is_consistent() {
-                    return Err(format!("invariant audit failed at step {t}: {report}"));
+    if hit.is_none() {
+        match &store {
+            // With a checkpoint store, the hitting loop runs under the
+            // escalation ladder (audit → repair → rollback) with
+            // heartbeats; the separation check rides the on_chunk hook.
+            Some(store) => {
+                let sup = SupervisedOptions {
+                    steps: CAP,
+                    every: CHECK_EVERY,
+                    max_rollbacks: 3,
+                };
+                let mut sink_err = None;
+                let run = run_supervised(
+                    &chain,
+                    &mut config,
+                    &mut rng,
+                    store,
+                    &sup,
+                    ctx.heartbeat,
+                    |c| c.perimeter() as f64,
+                    |t, c| {
+                        if let Some(sink) = &mut sink {
+                            if (t - t0) % METRICS_EVERY == 0 {
+                                if let Err(e) = sink.record_metrics(t0, &chain.report()) {
+                                    sink_err = Some(e.to_string());
+                                    return ControlFlow::Break(());
+                                }
+                            }
+                        }
+                        if is_separated(c, 4.0, 0.2).is_some() {
+                            hit = Some(t);
+                            return ControlFlow::Break(());
+                        }
+                        ControlFlow::Continue(())
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                ctx.absorb(&run);
+                for event in &run.events {
+                    eprintln!("swaps={swaps} r{replicate}: {event:?}");
+                }
+                if let Some(e) = sink_err {
+                    return Err(e);
+                }
+                if !run.completed {
+                    return Err(format!("cancelled at step {}", run.steps));
                 }
             }
-        }
-        if let Some(store) = &store {
-            store
-                .save_parts(t, 0, &rng.rng_state(), &[], &config)
-                .map_err(|e| e.to_string())?;
-        }
-        if let Some(sink) = &mut sink {
-            if (t - t0) % METRICS_EVERY == 0 {
-                sink.record_metrics(t0, &chain.report())
-                    .map_err(|e| e.to_string())?;
+            // Without a store there is nothing to roll back to; run the
+            // plain chunk loop, still heartbeating for the watchdog.
+            None => {
+                let mut t = 0u64;
+                let mut since_audit = 0u64;
+                while hit.is_none() && t < CAP {
+                    if ctx.heartbeat.is_cancelled() {
+                        return Err(format!("cancelled at step {t}"));
+                    }
+                    chain.run(&mut config, CHECK_EVERY, &mut rng);
+                    t += CHECK_EVERY;
+                    ctx.heartbeat.beat(t);
+                    if let Some(every) = opts.audit_every {
+                        since_audit += CHECK_EVERY;
+                        if since_audit >= every {
+                            since_audit = 0;
+                            let report = config.audit();
+                            if !report.is_consistent() {
+                                return Err(format!(
+                                    "invariant audit failed at step {t}: {report}"
+                                ));
+                            }
+                        }
+                    }
+                    if let Some(sink) = &mut sink {
+                        if t % METRICS_EVERY == 0 {
+                            sink.record_metrics(t0, &chain.report())
+                                .map_err(|e| e.to_string())?;
+                        }
+                    }
+                    if is_separated(&config, 4.0, 0.2).is_some() {
+                        hit = Some(t);
+                    }
+                }
             }
-        }
-        if is_separated(&config, 4.0, 0.2).is_some() {
-            hit = Some(t);
         }
     }
 
@@ -151,8 +222,8 @@ fn main() {
         }
     }
     let cells: Vec<Cell> = jobs.iter().map(|&(s, r)| Cell(s, r)).collect();
-    let outcomes = run_cells(cells, opts.retries, |cell, _attempt| {
-        time_to_separation(cell.0, cell.1, &opts).map(|t| (cell.0, cell.1, t))
+    let outcomes = run_cells(cells, &opts, |cell, ctx| {
+        time_to_separation(cell.0, cell.1, &opts, ctx).map(|t| (cell.0, cell.1, t))
     });
 
     let mut table = Table::new(["swaps", "replicate", "first separation (steps)"]);

@@ -134,7 +134,7 @@ fn render_fig1() -> String {
 fn main() {
     let opts = SweepOptions::from_args();
     println!("Figure 1: lattice section (a) and contracted/expanded particles (b)");
-    let outcomes = run_cells(vec!["fig1"], opts.retries, |_, _attempt| {
+    let outcomes = run_cells(vec!["fig1"], &opts, |_, _ctx| {
         let svg = render_fig1();
         sops_bench::save("fig1.svg", &svg);
         // Stateless render: the stream carries a manifest line plus one

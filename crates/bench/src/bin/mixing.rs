@@ -19,11 +19,15 @@
 //! hetero-edge series) to `results/logs/mixing-n-N.telemetry.jsonl`
 //! unless `--no-telemetry` is passed.
 
+use std::ops::ControlFlow;
+
 use sops_analysis::is_separated;
-use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
-use sops_bench::{instrument_chain, seed_hash, seeded, Table};
+use sops_bench::supervisor::{run_cells, write_cell_report, CellContext, SweepOptions};
+use sops_bench::{instrument_chain, seed_hash_attempt, seeded_attempt, Table};
 use sops_chains::telemetry::series_record_json;
-use sops_chains::{MarkovChain, Recovery, RunManifest, SnapshotRng as _, TransitionMatrix};
+use sops_chains::{
+    run_supervised, MarkovChain, Recovery, RunManifest, SupervisedOptions, TransitionMatrix,
+};
 use sops_core::enumerate::ExactSeparationChain;
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 
@@ -31,8 +35,14 @@ const HIT_CHUNK: u64 = 25_000;
 const HIT_CAP: u64 = 500_000_000;
 const METRICS_EVERY: u64 = 1_000_000;
 
-fn hitting_cell(n: usize, opts: &SweepOptions) -> Result<Option<u64>, String> {
-    let mut rng = seeded("mixing-hit", n as u64);
+fn hitting_cell(
+    n: usize,
+    opts: &SweepOptions,
+    ctx: &CellContext<'_>,
+) -> Result<Option<u64>, String> {
+    // Attempt 1 reproduces the published seed; a retry draws a fresh
+    // stream so a seed-dependent fault is not re-hit verbatim.
+    let mut rng = seeded_attempt("mixing-hit", n as u64, ctx.attempt);
     let nodes = construct::hexagonal_spiral(n);
     let mut config = Configuration::new(construct::bicolor_random(nodes, n / 2, &mut rng))
         .map_err(|e| e.to_string())?;
@@ -41,34 +51,42 @@ fn hitting_cell(n: usize, opts: &SweepOptions) -> Result<Option<u64>, String> {
     let store = opts
         .store_for(&format!("n={n}"))
         .map_err(|e| e.to_string())?;
-    let mut t = 0u64;
+
+    // Peek at the newest snapshot before running: snapshots are written at
+    // the chunk that hit separation, so a resumed cell whose snapshot is
+    // already separated must report that step, not one chunk later.
+    let mut t0 = 0u64;
+    let mut hit = None;
     if let Some(store) = &store {
         let Recovery {
             checkpoint,
             rejected,
+            reaped,
         } = store
             .recover::<Configuration>()
             .map_err(|e| e.to_string())?;
         for path in &rejected {
             eprintln!("n={n}: skipped corrupt snapshot {}", path.display());
         }
+        for path in &reaped {
+            eprintln!("n={n}: reaped orphaned temp file {}", path.display());
+        }
         if let Some(ckpt) = checkpoint {
-            rng.restore_rng_state(&ckpt.rng_state)
-                .map_err(|e| format!("bad RNG snapshot: {e}"))?;
-            config = ckpt.state;
-            t = ckpt.step;
-            eprintln!("n={n}: resumed hitting loop at step {t}");
+            t0 = ckpt.step;
+            eprintln!("n={n}: resuming hitting loop at step {t0}");
+            if is_separated(&ckpt.state, 4.0, 0.2).is_some() {
+                hit = Some(ckpt.step);
+            }
         }
     }
 
     // Telemetry: the report counts steps taken by *this* process, so the
-    // resume offset t becomes the base step of every metrics record and
+    // resume offset t0 becomes the base step of every metrics record and
     // the stream stays contiguous across restarts.
-    let t0 = t;
     let chain = instrument_chain(chain, opts.telemetry);
     let manifest = RunManifest {
         run: format!("mixing/n={n}"),
-        seed: seed_hash("mixing-hit", n as u64),
+        seed: seed_hash_attempt("mixing-hit", n as u64, ctx.attempt),
         lambda: 4.0,
         gamma: 4.0,
         n: n as u64,
@@ -83,45 +101,92 @@ fn hitting_cell(n: usize, opts: &SweepOptions) -> Result<Option<u64>, String> {
         )
         .map_err(|e| e.to_string())?;
 
-    // Snapshots are written just before the separation check, so a cell
-    // that hit separation at exactly step t resumes *at* its hitting
-    // state; re-check before advancing or the resumed cell would report a
-    // hitting time one chunk later than the uninterrupted run.
-    let mut hit = None;
-    if t > 0 && is_separated(&config, 4.0, 0.2).is_some() {
-        hit = Some(t);
-    }
-
-    let mut since_audit = 0u64;
-    while hit.is_none() && t < HIT_CAP {
-        chain.run(&mut config, HIT_CHUNK, &mut rng);
-        t += HIT_CHUNK;
-        if let Some(every) = opts.audit_every {
-            since_audit += HIT_CHUNK;
-            if since_audit >= every {
-                since_audit = 0;
-                let report = config.audit();
-                if !report.is_consistent() {
-                    return Err(format!("invariant audit failed at step {t}: {report}"));
+    if hit.is_none() {
+        match &store {
+            // With a checkpoint store, the hitting loop runs under the full
+            // escalation ladder: audit → in-place repair → rollback, plus
+            // heartbeats for the stall watchdog. The separation check rides
+            // the on_chunk hook and breaks the loop on a hit.
+            Some(store) => {
+                let sup = SupervisedOptions {
+                    steps: HIT_CAP,
+                    every: HIT_CHUNK,
+                    max_rollbacks: 3,
+                };
+                let mut sink_err = None;
+                let run = run_supervised(
+                    &chain,
+                    &mut config,
+                    &mut rng,
+                    store,
+                    &sup,
+                    ctx.heartbeat,
+                    |c| c.perimeter() as f64,
+                    |t, c| {
+                        if let Some(sink) = &mut sink {
+                            if (t - t0) % METRICS_EVERY == 0 {
+                                if let Err(e) = sink.record_metrics(t0, &chain.report()) {
+                                    sink_err = Some(e.to_string());
+                                    return ControlFlow::Break(());
+                                }
+                            }
+                        }
+                        if is_separated(c, 4.0, 0.2).is_some() {
+                            hit = Some(t);
+                            return ControlFlow::Break(());
+                        }
+                        ControlFlow::Continue(())
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                ctx.absorb(&run);
+                for event in &run.events {
+                    eprintln!("n={n}: {event:?}");
+                }
+                if let Some(e) = sink_err {
+                    return Err(e);
+                }
+                if !run.completed {
+                    return Err(format!("cancelled at step {}", run.steps));
+                }
+            }
+            // Without a store the ladder has nothing to roll back to; run
+            // the plain chunk loop, still heartbeating for the watchdog.
+            None => {
+                let mut t = 0u64;
+                let mut since_audit = 0u64;
+                while hit.is_none() && t < HIT_CAP {
+                    if ctx.heartbeat.is_cancelled() {
+                        return Err(format!("cancelled at step {t}"));
+                    }
+                    chain.run(&mut config, HIT_CHUNK, &mut rng);
+                    t += HIT_CHUNK;
+                    ctx.heartbeat.beat(t);
+                    if let Some(every) = opts.audit_every {
+                        since_audit += HIT_CHUNK;
+                        if since_audit >= every {
+                            since_audit = 0;
+                            let report = config.audit();
+                            if !report.is_consistent() {
+                                return Err(format!(
+                                    "invariant audit failed at step {t}: {report}"
+                                ));
+                            }
+                        }
+                    }
+                    if let Some(sink) = &mut sink {
+                        if t % METRICS_EVERY == 0 {
+                            sink.record_metrics(t0, &chain.report())
+                                .map_err(|e| e.to_string())?;
+                        }
+                    }
+                    if is_separated(&config, 4.0, 0.2).is_some() {
+                        hit = Some(t);
+                    }
                 }
             }
         }
-        if let Some(store) = &store {
-            store
-                .save_parts(t, 0, &rng.rng_state(), &[], &config)
-                .map_err(|e| e.to_string())?;
-        }
-        if let Some(sink) = &mut sink {
-            if (t - t0) % METRICS_EVERY == 0 {
-                sink.record_metrics(t0, &chain.report())
-                    .map_err(|e| e.to_string())?;
-            }
-        }
-        if is_separated(&config, 4.0, 0.2).is_some() {
-            hit = Some(t);
-        }
     }
-
     if let Some(sink) = &mut sink {
         let report = chain.report();
         sink.record_metrics(t0, &report)
@@ -169,8 +234,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n2. Behavior arrives before stationarity: first (4, 0.2)-separation\n   certificate at λ = γ = 4 vs system size:\n");
     let sizes = [40usize, 70, 100, 130];
-    let outcomes = run_cells(sizes.to_vec(), opts.retries, |&n, _attempt| {
-        hitting_cell(n, &opts).map(|hit| (n, hit))
+    let outcomes = run_cells(sizes.to_vec(), &opts, |&n, ctx| {
+        hitting_cell(n, &opts, ctx).map(|hit| (n, hit))
     });
     let mut t2 = Table::new(["n", "first separation (steps)", "steps per particle"]);
     for outcome in &outcomes {

@@ -15,11 +15,13 @@
 //! `results/logs/separation-gamma-G.telemetry.jsonl` unless
 //! `--no-telemetry` is passed.
 
+use std::ops::ControlFlow;
+
 use sops_analysis::{is_separated, metrics};
-use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
-use sops_bench::{instrument_chain, seed_hash, seeded, Table};
+use sops_bench::supervisor::{run_cells, write_cell_report, CellContext, SweepOptions};
+use sops_bench::{instrument_chain, seed_hash_attempt, seeded_attempt, Table};
 use sops_chains::telemetry::series_record_json;
-use sops_chains::{MarkovChain, MarkovChainCheckpointExt as _, RunManifest};
+use sops_chains::{run_supervised, MarkovChain, RunManifest, SupervisedOptions};
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 
 const N: usize = 100;
@@ -28,29 +30,47 @@ const BURN_IN: u64 = 10_000_000;
 const SAMPLES: usize = 100;
 const SAMPLE_GAP: u64 = 100_000;
 
-fn sweep_cell(gamma: f64, opts: &SweepOptions) -> Result<(f64, f64), String> {
-    let mut rng = seeded("separation", gamma.to_bits());
+fn sweep_cell(
+    gamma: f64,
+    opts: &SweepOptions,
+    ctx: &CellContext<'_>,
+) -> Result<(f64, f64), String> {
+    // Attempt 1 reproduces the published seed; a retry draws a fresh
+    // stream so a seed-dependent fault is not re-hit verbatim.
+    let mut rng = seeded_attempt("separation", gamma.to_bits(), ctx.attempt);
     let nodes = construct::hexagonal_spiral(N);
     let mut config =
         Configuration::new(construct::bicolor_random(nodes, N / 2, &mut rng)).expect("valid seed");
     let chain = SeparationChain::new(Bias::new(LAMBDA, gamma).expect("valid bias"));
     let chain = instrument_chain(chain, opts.telemetry);
 
-    // Burn-in, checkpointed (and audited before every snapshot) when a
-    // checkpoint directory is configured. The instrumented wrapper is a
-    // MarkovChain itself, so the checkpoint loop drives it unchanged.
+    // Burn-in. With a checkpoint store the run goes through the full
+    // escalation ladder (audit → in-place repair → rollback) and reports
+    // any recovery rungs taken back to the sweep supervisor; without one
+    // it is a plain chunked loop that still heartbeats for the watchdog.
     let store = opts
         .store_for(&format!("gamma={gamma:.4}"))
         .map_err(|e| e.to_string())?;
     let mut resumed_at = None;
-    match store {
+    match &store {
         Some(store) => {
-            let interval = opts.audit_every.unwrap_or(1_000_000);
-            let run = chain
-                .run_checkpointed(&mut config, BURN_IN, interval, &mut rng, &store, |c| {
-                    metrics::hetero_fraction(c)
-                })
-                .map_err(|e| e.to_string())?;
+            let sup = SupervisedOptions {
+                steps: BURN_IN,
+                every: opts.audit_every.unwrap_or(1_000_000),
+                max_rollbacks: 3,
+            };
+            let run = run_supervised(
+                &chain,
+                &mut config,
+                &mut rng,
+                store,
+                &sup,
+                ctx.heartbeat,
+                metrics::hetero_fraction,
+                |_, _| ControlFlow::Continue(()),
+            )
+            .map_err(|e| e.to_string())?;
+            ctx.absorb(&run);
             resumed_at = run.resumed_from;
             if let Some(step) = run.resumed_from {
                 eprintln!("gamma={gamma:.4}: resumed burn-in from step {step}");
@@ -61,9 +81,30 @@ fn sweep_cell(gamma: f64, opts: &SweepOptions) -> Result<(f64, f64), String> {
                     path.display()
                 );
             }
+            for path in &run.reaped {
+                eprintln!(
+                    "gamma={gamma:.4}: reaped orphaned temp file {}",
+                    path.display()
+                );
+            }
+            for event in &run.events {
+                eprintln!("gamma={gamma:.4}: {event:?}");
+            }
+            if !run.completed {
+                return Err(format!("cancelled at step {}", run.steps));
+            }
         }
         None => {
-            chain.run(&mut config, BURN_IN, &mut rng);
+            let mut t = 0u64;
+            while t < BURN_IN {
+                if ctx.heartbeat.is_cancelled() {
+                    return Err(format!("cancelled at step {t}"));
+                }
+                let burst = 1_000_000.min(BURN_IN - t);
+                chain.run(&mut config, burst, &mut rng);
+                t += burst;
+                ctx.heartbeat.beat(t);
+            }
         }
     }
 
@@ -73,7 +114,7 @@ fn sweep_cell(gamma: f64, opts: &SweepOptions) -> Result<(f64, f64), String> {
     let cell = format!("gamma={gamma:.4}");
     let manifest = RunManifest {
         run: format!("separation/{cell}"),
-        seed: seed_hash("separation", gamma.to_bits()),
+        seed: seed_hash_attempt("separation", gamma.to_bits(), ctx.attempt),
         lambda: LAMBDA,
         gamma,
         n: N as u64,
@@ -91,8 +132,13 @@ fn sweep_cell(gamma: f64, opts: &SweepOptions) -> Result<(f64, f64), String> {
     let mut separated = 0usize;
     let mut hetero = 0.0;
     let mut since_audit = 0u64;
-    for _ in 0..SAMPLES {
+    for sample in 0..SAMPLES {
+        if ctx.heartbeat.is_cancelled() {
+            return Err(format!("cancelled at sample {sample}"));
+        }
         chain.run(&mut config, SAMPLE_GAP, &mut rng);
+        ctx.heartbeat
+            .beat(BURN_IN + (sample as u64 + 1) * SAMPLE_GAP);
         if let Some(every) = opts.audit_every {
             since_audit += SAMPLE_GAP;
             if since_audit >= every {
@@ -131,8 +177,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         8.0,
     ];
 
-    let outcomes = run_cells(gammas.clone(), opts.retries, |&gamma, _attempt| {
-        sweep_cell(gamma, &opts)
+    let outcomes = run_cells(gammas.clone(), &opts, |&gamma, ctx| {
+        sweep_cell(gamma, &opts, ctx)
     });
 
     println!(

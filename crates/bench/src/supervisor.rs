@@ -2,31 +2,46 @@
 //!
 //! Long parameter sweeps die for boring reasons: one diverging cell
 //! panics, the machine reboots eight hours in, a corrupted state poisons
-//! a result silently. This module gives every experiment binary the same
-//! three defenses:
+//! a result silently, a wedged cell holds the whole sweep hostage. This
+//! module gives every experiment binary the same defenses:
 //!
 //! * **CLI flags** ([`SweepOptions::from_args`]): `--checkpoint-dir DIR`
 //!   persists per-cell snapshots there, `--resume` continues from them
 //!   (without it a fresh run clears stale cell state), `--audit-every N`
 //!   re-verifies configuration invariants from scratch every `N` steps,
-//!   `--retries K` bounds per-cell retry attempts, and `--no-telemetry`
-//!   suppresses the per-cell JSONL metric streams under `results/logs/`
-//!   ([`SweepOptions::telemetry_sink`]).
-//! * **Cell isolation** ([`run_cells`]): each sweep cell runs under
-//!   `catch_unwind` with bounded retries, so one panicking cell costs that
-//!   cell, not the sweep.
-//! * **Outcome records** ([`write_cell_report`]): per-cell success /
-//!   failure / attempt counts land in `results/<bin>-cells.json`, so a
-//!   partially failed sweep is visible in the artifact, not just the
-//!   scrollback.
+//!   `--retries K` bounds per-cell retry attempts, `--backoff-ms B` sets
+//!   the base retry backoff, `--stall-ms S` arms the stall watchdog, and
+//!   `--no-telemetry` suppresses the per-cell JSONL metric streams under
+//!   `results/logs/` ([`SweepOptions::telemetry_sink`]).
+//! * **Cell isolation with an escalation ladder** ([`run_cells`]): each
+//!   cell runs under `catch_unwind`; inside the cell the recovery ladder
+//!   (`sops_chains::recovery`) repairs or rolls back audit violations,
+//!   and only when that fails does the supervisor retry the whole cell —
+//!   with exponential backoff and deterministic jitter
+//!   ([`BackoffPolicy`]), and a fresh RNG stream per attempt
+//!   (`crate::seeded_attempt`) so a deterministic fault is not re-hit
+//!   verbatim.
+//! * **Stall watchdog** ([`StallPolicy`]): a monitor thread polls each
+//!   cell's [`Heartbeat`] step counter; a cell whose counter freezes is
+//!   cancelled cooperatively and marked [`CellStatus::Degraded`] instead
+//!   of wedging the sweep.
+//! * **Outcome records** ([`write_cell_report`]): per-cell status
+//!   (`ok` / `recovered` / `degraded` / `failed`), attempt counts, and
+//!   values land in `results/<bin>-cells.json`, so a partially failed
+//!   sweep is visible in the artifact, not just the scrollback.
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
-use sops_chains::{CheckpointError, CheckpointStore, JsonlSink, RunManifest};
-
-use crate::parallel_map;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use sops_chains::{
+    CheckpointError, CheckpointStore, Heartbeat, JsonlSink, RunManifest, SupervisedRun,
+};
 
 /// Runtime options shared by every sweep binary.
 #[derive(Clone, Debug, PartialEq)]
@@ -43,6 +58,10 @@ pub struct SweepOptions {
     pub retain: usize,
     /// Whether to emit per-cell JSONL telemetry under `results/logs/`.
     pub telemetry: bool,
+    /// Delay schedule between retry attempts.
+    pub backoff: BackoffPolicy,
+    /// Stall watchdog configuration; `None` disables the watchdog.
+    pub stall: Option<StallPolicy>,
 }
 
 impl Default for SweepOptions {
@@ -54,6 +73,8 @@ impl Default for SweepOptions {
             retries: 1,
             retain: 3,
             telemetry: true,
+            backoff: BackoffPolicy::default(),
+            stall: None,
         }
     }
 }
@@ -92,6 +113,19 @@ impl SweepOptions {
                     opts.retries = v
                         .parse()
                         .unwrap_or_else(|_| panic!("--retries expects a count: {v}"));
+                }
+                "--backoff-ms" => {
+                    let v = take_value("--backoff-ms");
+                    opts.backoff.base_ms = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--backoff-ms expects milliseconds: {v}"));
+                }
+                "--stall-ms" => {
+                    let v = take_value("--stall-ms");
+                    let total: u64 = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--stall-ms expects milliseconds: {v}"));
+                    opts.stall = Some(StallPolicy::with_timeout_ms(total));
                 }
                 "--no-telemetry" => opts.telemetry = false,
                 other => eprintln!("ignoring unknown flag {other:?}"),
@@ -149,17 +183,153 @@ impl SweepOptions {
     }
 }
 
-/// Makes a cell label safe as a directory name.
-fn sanitize(cell: &str) -> String {
-    cell.chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
-                c
-            } else {
-                '-'
-            }
-        })
-        .collect()
+/// Retry backoff: exponential in the attempt number with deterministic
+/// jitter, so a batch of simultaneously failing cells does not retry in
+/// lockstep yet every schedule is reproducible (the jitter comes from the
+/// vendored RNG seeded by `(cell, attempt)`, never from the wall clock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in milliseconds; doubles per attempt.
+    /// 0 disables backoff entirely (used by fast tests).
+    pub base_ms: u64,
+    /// Upper bound on any single delay, jitter included.
+    pub cap_ms: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: 200,
+            cap_ms: 10_000,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay to wait before `attempt` (attempts are 1-based; the
+    /// first retry is attempt 2). Pure function of `(self, cell,
+    /// attempt)` — tests assert on it without sleeping.
+    #[must_use]
+    pub fn delay(&self, cell: &str, attempt: u32) -> Duration {
+        if self.base_ms == 0 || attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let doublings = (attempt - 2).min(16);
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << doublings)
+            .min(self.cap_ms);
+        // Jitter in [0, exp/2), deterministic per (cell, attempt).
+        let mut rng = StdRng::seed_from_u64(
+            crate::seed_hash(cell, u64::from(attempt)) ^ 0x9e37_79b9_7f4a_7c15,
+        );
+        let jitter = if exp >= 2 {
+            rng.random_range(0..exp / 2)
+        } else {
+            0
+        };
+        Duration::from_millis((exp + jitter).min(self.cap_ms))
+    }
+}
+
+/// Stall watchdog tuning: a cell whose heartbeat step counter is
+/// unchanged for `stall_after` consecutive polls is cancelled and marked
+/// [`CellStatus::Degraded`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallPolicy {
+    /// Poll interval in milliseconds.
+    pub poll_ms: u64,
+    /// Consecutive frozen polls before the cell is declared stalled.
+    pub stall_after: u32,
+}
+
+impl StallPolicy {
+    /// A policy that declares a stall after roughly `total_ms` of frozen
+    /// heartbeat, polling 4 times within that window.
+    #[must_use]
+    pub fn with_timeout_ms(total_ms: u64) -> Self {
+        StallPolicy {
+            poll_ms: (total_ms / 4).max(1),
+            stall_after: 4,
+        }
+    }
+}
+
+/// Per-cell status in the sweep report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Succeeded first try with no recovery events.
+    Ok,
+    /// Succeeded, but only after repair, rollback, or a retry attempt.
+    Recovered,
+    /// Stalled or cancelled; a partial result may still be present.
+    Degraded,
+    /// Exhausted all attempts without producing a result.
+    Failed,
+}
+
+impl CellStatus {
+    /// The status as it appears in `results/<bin>-cells.json`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Recovered => "recovered",
+            CellStatus::Degraded => "degraded",
+            CellStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Per-attempt context handed to a cell's work function by [`run_cells`].
+///
+/// Carries the attempt number (for `crate::seeded_attempt` seed
+/// derivation), the cell's shared [`Heartbeat`] (beat it from long loops
+/// so the stall watchdog sees progress; check `is_cancelled` to exit
+/// early), and flags through which the cell reports recovery/degradation
+/// for the status column.
+pub struct CellContext<'a> {
+    /// 1-based attempt number (1 = first try).
+    pub attempt: u32,
+    /// The cell's heartbeat, shared with the stall watchdog.
+    pub heartbeat: &'a Heartbeat,
+    recovered: AtomicBool,
+    degraded: AtomicBool,
+}
+
+impl<'a> CellContext<'a> {
+    fn new(attempt: u32, heartbeat: &'a Heartbeat) -> Self {
+        CellContext {
+            attempt,
+            heartbeat,
+            recovered: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the cell as having recovered from a fault (repair or
+    /// rollback); a successful cell then reports `recovered`, not `ok`.
+    pub fn note_recovered(&self) {
+        self.recovered.store(true, Ordering::Relaxed);
+    }
+
+    /// Marks the cell as degraded (e.g. it returned a partial result
+    /// after cancellation).
+    pub fn note_degraded(&self) {
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    /// Folds a [`SupervisedRun`]'s ladder events into the status flags:
+    /// repairs/rollbacks mark the cell recovered, an incomplete run marks
+    /// it degraded.
+    pub fn absorb(&self, run: &SupervisedRun) {
+        if run.recovered() {
+            self.note_recovered();
+        }
+        if !run.completed {
+            self.note_degraded();
+        }
+    }
 }
 
 /// The outcome of one supervised sweep cell.
@@ -169,7 +339,9 @@ pub struct CellOutcome<T> {
     pub cell: String,
     /// Attempts used (1 = first try succeeded).
     pub attempts: u32,
-    /// The cell's value when it succeeded.
+    /// How the cell ended.
+    pub status: CellStatus,
+    /// The cell's value when it produced one.
     pub result: Option<T>,
     /// The final failure (panic message or returned error) otherwise.
     pub error: Option<String>,
@@ -193,45 +365,184 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Book-keeping shared between a cell's worker thread and the watchdog.
+struct CellSlot {
+    heartbeat: Heartbeat,
+    done: AtomicBool,
+}
+
 /// Runs one labelled cell per job in parallel, isolating each behind
-/// `catch_unwind` and retrying failures up to `retries` extra times.
+/// `catch_unwind`, retrying failures up to `opts.retries` extra times
+/// with [`BackoffPolicy`] delays, and — when `opts.stall` is set —
+/// watching every cell's [`Heartbeat`] for stalls.
 ///
 /// A cell fails by returning `Err` *or* by panicking; either way the
 /// other cells are unaffected and the failure is recorded in the outcome
-/// rather than propagated.
-pub fn run_cells<L, T, F>(labels: Vec<L>, retries: u32, work: F) -> Vec<CellOutcome<T>>
+/// rather than propagated. A stalled cell is cancelled cooperatively and
+/// reported [`CellStatus::Degraded`] — it is not retried, since a hang
+/// would recur and hold the sweep hostage again.
+pub fn run_cells<L, T, F>(labels: Vec<L>, opts: &SweepOptions, work: F) -> Vec<CellOutcome<T>>
 where
-    L: fmt::Display + Send,
+    L: fmt::Display + Send + Sync,
     T: Send,
-    F: Fn(&L, u32) -> Result<T, String> + Sync,
+    F: Fn(&L, &CellContext<'_>) -> Result<T, String> + Sync,
 {
-    parallel_map(labels, |label| {
-        let cell = label.to_string();
-        let mut attempts = 0;
-        let mut last_error = String::new();
-        while attempts <= retries {
-            attempts += 1;
-            match catch_unwind(AssertUnwindSafe(|| work(&label, attempts))) {
-                Ok(Ok(value)) => {
-                    return CellOutcome {
-                        cell,
-                        attempts,
-                        result: Some(value),
-                        error: None,
-                    }
-                }
-                Ok(Err(e)) => last_error = e,
-                Err(payload) => last_error = panic_message(payload),
+    let n = labels.len();
+    let slots: Vec<Arc<CellSlot>> = (0..n)
+        .map(|_| {
+            Arc::new(CellSlot {
+                heartbeat: Heartbeat::new(),
+                done: AtomicBool::new(false),
+            })
+        })
+        .collect();
+    let cells: Vec<String> = labels.iter().map(ToString::to_string).collect();
+
+    let mut outcomes: Vec<Option<CellOutcome<T>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let work = &work;
+        let opts_ref = &*opts;
+        let mut handles = Vec::new();
+        for (i, label) in labels.iter().enumerate() {
+            let slot = Arc::clone(&slots[i]);
+            let cell = cells[i].clone();
+            handles.push(scope.spawn(move || {
+                let outcome = run_one_cell(label, &cell, &slot, opts_ref, work);
+                slot.done.store(true, Ordering::SeqCst);
+                (i, outcome)
+            }));
+        }
+
+        if let Some(stall) = opts.stall {
+            let slots = &slots;
+            let cells = &cells;
+            scope.spawn(move || watchdog(slots, cells, stall));
+        }
+
+        for h in handles {
+            let (i, outcome) = h.join().expect("cell worker panicked outside catch_unwind");
+            outcomes[i] = Some(outcome);
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every cell reports an outcome"))
+        .collect()
+}
+
+/// The stall watchdog: polls every live cell's heartbeat and cancels any
+/// whose step counter stays frozen for `stall.stall_after` consecutive
+/// polls. Exits once every cell is done.
+fn watchdog(slots: &[Arc<CellSlot>], cells: &[String], stall: StallPolicy) {
+    let mut last: Vec<u64> = slots.iter().map(|s| s.heartbeat.steps()).collect();
+    let mut frozen = vec![0u32; slots.len()];
+    loop {
+        std::thread::sleep(Duration::from_millis(stall.poll_ms));
+        if slots.iter().all(|s| s.done.load(Ordering::SeqCst)) {
+            return;
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            if slot.done.load(Ordering::SeqCst) || slot.heartbeat.is_cancelled() {
+                continue;
             }
-            eprintln!("cell {cell}: attempt {attempts} failed: {last_error}");
+            let now = slot.heartbeat.steps();
+            if now == last[i] {
+                frozen[i] += 1;
+                if frozen[i] >= stall.stall_after {
+                    eprintln!(
+                        "cell {}: no progress past step {now} after {} polls; \
+                         cancelling as stalled",
+                        cells[i], frozen[i]
+                    );
+                    slot.heartbeat.cancel();
+                }
+            } else {
+                frozen[i] = 0;
+                last[i] = now;
+            }
         }
-        CellOutcome {
-            cell,
-            attempts,
-            result: None,
-            error: Some(last_error),
+    }
+}
+
+fn run_one_cell<L, T, F>(
+    label: &L,
+    cell: &str,
+    slot: &CellSlot,
+    opts: &SweepOptions,
+    work: &F,
+) -> CellOutcome<T>
+where
+    L: fmt::Display,
+    F: Fn(&L, &CellContext<'_>) -> Result<T, String>,
+{
+    let mut attempts = 0;
+    let mut last_error = String::new();
+    let mut recovered_any = false;
+    let mut degraded_any = false;
+    while attempts <= opts.retries {
+        attempts += 1;
+        if attempts > 1 {
+            let delay = opts.backoff.delay(cell, attempts);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
         }
-    })
+        let ctx = CellContext::new(attempts, &slot.heartbeat);
+        let result = catch_unwind(AssertUnwindSafe(|| work(label, &ctx)));
+        recovered_any |= ctx.recovered.load(Ordering::Relaxed);
+        degraded_any |= ctx.degraded.load(Ordering::Relaxed);
+        let cancelled = slot.heartbeat.is_cancelled();
+        match result {
+            Ok(Ok(value)) => {
+                let status = if cancelled || degraded_any {
+                    CellStatus::Degraded
+                } else if recovered_any || attempts > 1 {
+                    CellStatus::Recovered
+                } else {
+                    CellStatus::Ok
+                };
+                return CellOutcome {
+                    cell: cell.to_string(),
+                    attempts,
+                    status,
+                    result: Some(value),
+                    error: None,
+                };
+            }
+            Ok(Err(e)) => last_error = e,
+            Err(payload) => last_error = panic_message(payload),
+        }
+        eprintln!("cell {cell}: attempt {attempts} failed: {last_error}");
+        if cancelled {
+            // A stalled cell is not retried — the hang would recur.
+            break;
+        }
+    }
+    let status = if slot.heartbeat.is_cancelled() || degraded_any {
+        CellStatus::Degraded
+    } else {
+        CellStatus::Failed
+    };
+    CellOutcome {
+        cell: cell.to_string(),
+        attempts,
+        status,
+        result: None,
+        error: Some(last_error),
+    }
+}
+
+/// Makes a cell label safe as a directory name.
+fn sanitize(cell: &str) -> String {
+    cell.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// Escapes a string for embedding in JSON.
@@ -264,13 +575,25 @@ pub fn write_cell_report<T: fmt::Debug>(bin: &str, outcomes: &[CellOutcome<T>]) 
 fn render_cell_report<T: fmt::Debug>(bin: &str, outcomes: &[CellOutcome<T>]) -> String {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"bin\": \"{}\",\n", json_escape(bin)));
-    let failed = outcomes.iter().filter(|o| !o.is_ok()).count();
-    json.push_str(&format!("  \"cells_failed\": {failed},\n"));
+    let count = |status: CellStatus| outcomes.iter().filter(|o| o.status == status).count();
+    json.push_str(&format!(
+        "  \"cells_failed\": {},\n",
+        count(CellStatus::Failed)
+    ));
+    json.push_str(&format!(
+        "  \"cells_degraded\": {},\n",
+        count(CellStatus::Degraded)
+    ));
+    json.push_str(&format!(
+        "  \"cells_recovered\": {},\n",
+        count(CellStatus::Recovered)
+    ));
     json.push_str("  \"cells\": [\n");
     for (i, o) in outcomes.iter().enumerate() {
         json.push_str("    {");
         json.push_str(&format!("\"cell\": \"{}\", ", json_escape(&o.cell)));
         json.push_str(&format!("\"attempts\": {}, ", o.attempts));
+        json.push_str(&format!("\"status\": \"{}\", ", o.status.as_str()));
         json.push_str(&format!("\"ok\": {}, ", o.is_ok()));
         match (&o.result, &o.error) {
             (Some(v), _) => {
@@ -293,6 +616,18 @@ fn render_cell_report<T: fmt::Debug>(bin: &str, outcomes: &[CellOutcome<T>]) -> 
 mod tests {
     use super::*;
 
+    /// Options with zero backoff so retry tests don't sleep.
+    fn fast_opts(retries: u32) -> SweepOptions {
+        SweepOptions {
+            retries,
+            backoff: BackoffPolicy {
+                base_ms: 0,
+                cap_ms: 0,
+            },
+            ..SweepOptions::default()
+        }
+    }
+
     #[test]
     fn parse_recognizes_all_flags() {
         let opts = SweepOptions::parse(
@@ -304,6 +639,10 @@ mod tests {
                 "50000",
                 "--retries",
                 "2",
+                "--backoff-ms",
+                "50",
+                "--stall-ms",
+                "8000",
                 "--no-telemetry",
                 "--bogus",
             ]
@@ -313,6 +652,14 @@ mod tests {
         assert!(opts.resume);
         assert_eq!(opts.audit_every, Some(50_000));
         assert_eq!(opts.retries, 2);
+        assert_eq!(opts.backoff.base_ms, 50);
+        assert_eq!(
+            opts.stall,
+            Some(StallPolicy {
+                poll_ms: 2_000,
+                stall_after: 4
+            })
+        );
         assert!(!opts.telemetry);
     }
 
@@ -320,18 +667,55 @@ mod tests {
     fn parse_defaults_without_flags() {
         let opts = SweepOptions::parse(std::iter::empty());
         assert_eq!(opts, SweepOptions::default());
+        assert!(opts.stall.is_none());
+    }
+
+    #[test]
+    fn backoff_is_exponential_bounded_and_deterministic() {
+        let policy = BackoffPolicy {
+            base_ms: 100,
+            cap_ms: 1_000,
+        };
+        // No delay before the first attempt.
+        assert_eq!(policy.delay("cell", 1), Duration::ZERO);
+        let d2 = policy.delay("cell", 2);
+        let d3 = policy.delay("cell", 3);
+        let d9 = policy.delay("cell", 9);
+        // Exponential envelope: delay(k) ∈ [base·2^(k−2), 1.5·base·2^(k−2)].
+        assert!(
+            d2 >= Duration::from_millis(100) && d2 < Duration::from_millis(150),
+            "{d2:?}"
+        );
+        assert!(
+            d3 >= Duration::from_millis(200) && d3 < Duration::from_millis(300),
+            "{d3:?}"
+        );
+        // The cap bounds everything, jitter included.
+        assert!(d9 <= Duration::from_millis(1_000), "{d9:?}");
+        // Deterministic: same (cell, attempt) → same delay, no wall-clock.
+        assert_eq!(d2, policy.delay("cell", 2));
+        // Different cells jitter differently (checked below the cap,
+        // where the jitter is visible; this fixed pair is known to
+        // differ).
+        assert_ne!(policy.delay("gamma=2.0", 3), policy.delay("gamma=4.0", 3));
+        // Disabled policy never sleeps.
+        let off = BackoffPolicy {
+            base_ms: 0,
+            cap_ms: 0,
+        };
+        assert_eq!(off.delay("cell", 7), Duration::ZERO);
     }
 
     #[test]
     fn run_cells_isolates_panics_and_retries() {
-        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::atomic::AtomicU32;
         let calls = AtomicU32::new(0);
-        let outcomes = run_cells(vec!["a", "b", "c"], 1, |label, attempt| {
+        let outcomes = run_cells(vec!["a", "b", "c"], &fast_opts(1), |label, ctx| {
             calls.fetch_add(1, Ordering::SeqCst);
             match *label {
                 "a" => Ok(10),
                 // Fails once, succeeds on retry.
-                "b" if attempt == 1 => Err("transient".to_string()),
+                "b" if ctx.attempt == 1 => Err("transient".to_string()),
                 "b" => Ok(20),
                 _ => panic!("cell c always dies"),
             }
@@ -339,10 +723,13 @@ mod tests {
         let by_cell = |name: &str| outcomes.iter().find(|o| o.cell == name).unwrap();
         assert_eq!(by_cell("a").result, Some(10));
         assert_eq!(by_cell("a").attempts, 1);
+        assert_eq!(by_cell("a").status, CellStatus::Ok);
         assert_eq!(by_cell("b").result, Some(20));
         assert_eq!(by_cell("b").attempts, 2);
+        assert_eq!(by_cell("b").status, CellStatus::Recovered);
         assert!(by_cell("c").result.is_none());
         assert_eq!(by_cell("c").attempts, 2);
+        assert_eq!(by_cell("c").status, CellStatus::Failed);
         assert!(by_cell("c")
             .error
             .as_deref()
@@ -350,6 +737,53 @@ mod tests {
             .contains("always dies"));
         // a(1) + b(2) + c(2)
         assert_eq!(calls.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn ladder_recovery_reports_recovered_status() {
+        let outcomes = run_cells(vec!["x"], &fast_opts(0), |_, ctx| {
+            // The cell repaired itself internally (as run_supervised
+            // reports through CellContext::absorb).
+            ctx.note_recovered();
+            Ok(1)
+        });
+        assert_eq!(outcomes[0].status, CellStatus::Recovered);
+        assert_eq!(outcomes[0].attempts, 1);
+    }
+
+    #[test]
+    fn watchdog_cancels_stalled_cells_and_marks_them_degraded() {
+        let opts = SweepOptions {
+            stall: Some(StallPolicy {
+                poll_ms: 10,
+                stall_after: 3,
+            }),
+            ..fast_opts(2)
+        };
+        let outcomes = run_cells(vec!["healthy", "stuck"], &opts, |label, ctx| {
+            if *label == "healthy" {
+                for step in 0..20u64 {
+                    ctx.heartbeat.beat(step);
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                return Ok("done".to_string());
+            }
+            // The stuck cell never beats; it cooperatively polls for
+            // cancellation like run_supervised does at chunk boundaries.
+            loop {
+                if ctx.heartbeat.is_cancelled() {
+                    return Err("cancelled by watchdog".to_string());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let by_cell = |name: &str| outcomes.iter().find(|o| o.cell == name).unwrap();
+        assert_eq!(by_cell("healthy").status, CellStatus::Ok);
+        let stuck = by_cell("stuck");
+        assert_eq!(stuck.status, CellStatus::Degraded);
+        // A stall is not retried: retries were 2, but one attempt ran.
+        assert_eq!(stuck.attempts, 1);
+        assert!(stuck.error.as_deref().unwrap().contains("cancelled"));
     }
 
     #[test]
@@ -403,23 +837,43 @@ mod tests {
     }
 
     #[test]
-    fn json_report_escapes_and_counts_failures() {
+    fn json_report_escapes_counts_and_reports_status() {
         let outcomes = vec![
             CellOutcome {
                 cell: "ok\"cell".to_string(),
                 attempts: 1,
+                status: CellStatus::Ok,
                 result: Some(1.5f64),
                 error: None,
             },
             CellOutcome::<f64> {
                 cell: "bad".to_string(),
                 attempts: 3,
+                status: CellStatus::Failed,
                 result: None,
                 error: Some("panic: \"boom\"\nline2".to_string()),
+            },
+            CellOutcome::<f64> {
+                cell: "slow".to_string(),
+                attempts: 1,
+                status: CellStatus::Degraded,
+                result: None,
+                error: Some("stalled".to_string()),
+            },
+            CellOutcome {
+                cell: "healed".to_string(),
+                attempts: 2,
+                status: CellStatus::Recovered,
+                result: Some(2.5f64),
+                error: None,
             },
         ];
         let json = render_cell_report("test-report", &outcomes);
         assert!(json.contains("\"cells_failed\": 1"));
+        assert!(json.contains("\"cells_degraded\": 1"));
+        assert!(json.contains("\"cells_recovered\": 1"));
+        assert!(json.contains("\"status\": \"degraded\""));
+        assert!(json.contains("\"status\": \"recovered\""));
         assert!(json.contains("ok\\\"cell"));
         assert!(json.contains("\\\"boom\\\"\\nline2"));
         assert!(json.contains("\"attempts\": 3"));

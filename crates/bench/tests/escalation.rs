@@ -1,0 +1,210 @@
+//! End-to-end escalation-ladder tests: a sweep cell whose configuration
+//! state is corrupted mid-run must *complete* — healed by in-place repair
+//! or rollback and reported `recovered` — rather than fail, and a hung
+//! cell must be cancelled by the stall watchdog and reported `degraded`
+//! instead of wedging the sweep.
+
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use sops_bench::seeded_attempt;
+use sops_bench::supervisor::{
+    run_cells, write_cell_report, BackoffPolicy, CellStatus, StallPolicy, SweepOptions,
+};
+use sops_chains::{run_supervised, RecoveryEvent, SupervisedOptions};
+use sops_core::{construct, Bias, SeparationChain};
+
+/// A fresh scratch directory per test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sops-escalation-test-{}-{tag}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Sweep options pointed at a scratch checkpoint dir, with no telemetry,
+/// no retries, and no backoff sleeps.
+fn test_opts(scratch: &Scratch) -> SweepOptions {
+    SweepOptions {
+        checkpoint_dir: Some(scratch.0.clone()),
+        retries: 0,
+        telemetry: false,
+        backoff: BackoffPolicy {
+            base_ms: 0,
+            cap_ms: 0,
+        },
+        ..SweepOptions::default()
+    }
+}
+
+const STEPS: u64 = 40_000;
+const EVERY: u64 = 5_000;
+
+/// One supervised chain cell; `poison_at` injects counter-cache
+/// corruption through the on_chunk hook at that step, exercising the
+/// same audit → repair path a real mid-run fault would take.
+fn chain_cell(
+    cell: &str,
+    opts: &SweepOptions,
+    ctx: &sops_bench::supervisor::CellContext<'_>,
+    poison_at: Option<u64>,
+) -> Result<(u64, Vec<RecoveryEvent>), String> {
+    let mut rng = seeded_attempt(cell, 0, ctx.attempt);
+    let mut config = construct::hexagonal_bicolored(20, 10).map_err(|e| e.to_string())?;
+    let chain = SeparationChain::new(Bias::new(4.0, 4.0).expect("valid bias"));
+    let store = opts
+        .store_for(cell)
+        .map_err(|e| e.to_string())?
+        .expect("test opts always set a checkpoint dir");
+    let sup = SupervisedOptions {
+        steps: STEPS,
+        every: EVERY,
+        max_rollbacks: 3,
+    };
+    let run = run_supervised(
+        &chain,
+        &mut config,
+        &mut rng,
+        &store,
+        &sup,
+        ctx.heartbeat,
+        |c| c.perimeter() as f64,
+        |t, c| {
+            if poison_at == Some(t) {
+                let (e, h) = (c.edge_count(), c.hetero_edge_count());
+                c.inject_counter_fault(e + 7, h + 3);
+            }
+            ControlFlow::Continue(())
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    ctx.absorb(&run);
+    if !run.completed {
+        return Err(format!("cancelled at step {}", run.steps));
+    }
+    Ok((run.steps, run.events))
+}
+
+#[test]
+fn corrupted_cell_completes_as_recovered_not_failed() {
+    let scratch = Scratch::new("repair");
+    let opts = test_opts(&scratch);
+    let outcomes = run_cells(vec!["clean", "poisoned"], &opts, |label, ctx| {
+        let poison_at = (*label == "poisoned").then_some(15_000);
+        chain_cell(label, &opts, ctx, poison_at)
+    });
+    let by_cell = |name: &str| outcomes.iter().find(|o| o.cell == name).unwrap();
+
+    let clean = by_cell("clean");
+    assert_eq!(clean.status, CellStatus::Ok);
+    let (steps, events) = clean.result.as_ref().unwrap();
+    assert_eq!(*steps, STEPS);
+    assert!(events.is_empty(), "{events:?}");
+
+    // The poisoned cell completed the full run on its first attempt — the
+    // ladder healed it in place instead of killing the cell.
+    let poisoned = by_cell("poisoned");
+    assert_eq!(poisoned.status, CellStatus::Recovered, "{poisoned:?}");
+    assert_eq!(poisoned.attempts, 1, "repair must not consume a retry");
+    let (steps, events) = poisoned.result.as_ref().unwrap();
+    assert_eq!(*steps, STEPS);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Repaired { step: 15_000, .. })),
+        "{events:?}"
+    );
+
+    // And the report records the healed cell as recovered, not failed.
+    let json = write_cell_report("escalation-test", &outcomes);
+    assert!(json.contains("\"cells_failed\": 0"), "{json}");
+    assert!(json.contains("\"cells_recovered\": 1"), "{json}");
+    let _ = std::fs::remove_file(sops_bench::out_dir().join("escalation-test-cells.json"));
+}
+
+#[test]
+fn repeated_corruption_is_healed_every_chunk() {
+    let scratch = Scratch::new("repeat");
+    let opts = test_opts(&scratch);
+    let outcomes = run_cells(vec!["relapsing"], &opts, |label, ctx| {
+        let mut rng = seeded_attempt(label, 1, ctx.attempt);
+        let mut config = construct::hexagonal_bicolored(20, 10).map_err(|e| e.to_string())?;
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).expect("valid bias"));
+        let store = opts.store_for(label).map_err(|e| e.to_string())?.unwrap();
+        let sup = SupervisedOptions {
+            steps: STEPS,
+            every: EVERY,
+            max_rollbacks: 3,
+        };
+        let run = run_supervised(
+            &chain,
+            &mut config,
+            &mut rng,
+            &store,
+            &sup,
+            ctx.heartbeat,
+            |c| c.perimeter() as f64,
+            |_, c| {
+                let (e, h) = (c.edge_count(), c.hetero_edge_count());
+                c.inject_counter_fault(e + 1, h + 1);
+                ControlFlow::Continue(())
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        ctx.absorb(&run);
+        Ok::<_, String>(run.events.len())
+    });
+    assert_eq!(outcomes[0].status, CellStatus::Recovered);
+    // Repairs are unbounded (unlike rollbacks): one per corrupted chunk.
+    assert_eq!(outcomes[0].result, Some((STEPS / EVERY) as usize));
+}
+
+#[test]
+fn hung_cell_is_cancelled_and_reported_degraded() {
+    let scratch = Scratch::new("stall");
+    let opts = SweepOptions {
+        stall: Some(StallPolicy {
+            poll_ms: 10,
+            stall_after: 3,
+        }),
+        ..test_opts(&scratch)
+    };
+    let outcomes = run_cells(vec!["healthy", "hung"], &opts, |label, ctx| {
+        if *label == "healthy" {
+            return chain_cell(label, &opts, ctx, None);
+        }
+        // A wedged cell: never beats, polls for cancellation the way
+        // run_supervised does at chunk boundaries.
+        loop {
+            if ctx.heartbeat.is_cancelled() {
+                return Err("cancelled by watchdog".to_string());
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    let by_cell = |name: &str| outcomes.iter().find(|o| o.cell == name).unwrap();
+    assert_eq!(by_cell("healthy").status, CellStatus::Ok);
+    let hung = by_cell("hung");
+    assert_eq!(hung.status, CellStatus::Degraded, "{hung:?}");
+    assert!(hung.result.is_none());
+    let json = write_cell_report("escalation-stall-test", &outcomes);
+    assert!(json.contains("\"cells_degraded\": 1"), "{json}");
+    assert!(json.contains("\"status\": \"degraded\""), "{json}");
+    let _ = std::fs::remove_file(sops_bench::out_dir().join("escalation-stall-test-cells.json"));
+}

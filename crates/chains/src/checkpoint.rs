@@ -27,16 +27,29 @@
 //! snapshot whose checksum, header, or state decoding fails, reporting the
 //! rejected paths in [`Recovery::rejected`]. Recovery never panics; a
 //! store with no readable snapshot simply starts from scratch.
+//!
+//! # Durability contract
+//!
+//! All I/O goes through the [`Vfs`](crate::vfs::Vfs) seam. A snapshot is
+//! durable — guaranteed to survive a crash — once [`CheckpointStore::save`]
+//! returns: the temp file is written and fsynced, renamed into place, and
+//! the parent directory is fsynced so the rename itself persists. A crash
+//! at any earlier point leaves at worst an orphaned `*.ckpt.tmp` file,
+//! which [`CheckpointStore::recover`] reaps (reporting it in
+//! [`Recovery::reaped`]); the previous durable snapshot is untouched. The
+//! crash-point fuzzer in `tests/crash_fuzzer.rs` verifies this claim at
+//! every I/O operation boundary against the deterministic
+//! [`FaultyVfs`](crate::vfs::FaultyVfs) crash model.
 
 use std::fmt;
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::chain::MarkovChain;
+use crate::vfs::{RealVfs, Vfs};
 
 /// Errors from checkpoint persistence and recovery.
 #[derive(Debug)]
@@ -337,10 +350,20 @@ impl<S: StateCodec> Checkpoint<S> {
 
 /// A directory of checkpoint snapshots with atomic writes and bounded
 /// retention.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
     retain: usize,
+    vfs: Arc<dyn Vfs>,
+}
+
+impl fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("dir", &self.dir)
+            .field("retain", &self.retain)
+            .finish_non_exhaustive()
+    }
 }
 
 /// The outcome of scanning a store for a resumable snapshot.
@@ -352,22 +375,47 @@ pub struct Recovery<S> {
     /// first. Callers may log or delete these; recovery leaves them in
     /// place as forensic evidence.
     pub rejected: Vec<PathBuf>,
+    /// Orphaned `*.ckpt.tmp` files left by a crash mid-save, deleted
+    /// during this recovery scan.
+    pub reaped: Vec<PathBuf>,
 }
 
 impl CheckpointStore {
-    /// Opens (creating if needed) a snapshot directory, keeping at most
-    /// `retain` snapshots; older ones are pruned after each save.
+    /// Opens (creating if needed) a snapshot directory on the real
+    /// filesystem, keeping at most `retain` snapshots; older ones are
+    /// pruned after each save. Orphaned temp files from a previous crash
+    /// are reaped best-effort.
     ///
     /// # Errors
     ///
     /// Returns an error when the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self, CheckpointError> {
+        Self::open_with(dir, retain, Arc::new(RealVfs))
+    }
+
+    /// [`CheckpointStore::open`] over an explicit [`Vfs`] backend — the
+    /// injection point for [`FaultyVfs`](crate::vfs::FaultyVfs) in
+    /// crash-consistency tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory cannot be created.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        retain: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self, CheckpointError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore {
+        vfs.create_dir_all(&dir)?;
+        let store = CheckpointStore {
             dir,
             retain: retain.max(1),
-        })
+            vfs,
+        };
+        // A crash between temp-create and rename leaves orphans; clear
+        // them on open so they cannot accumulate across restarts.
+        let _ = store.reap_tmp();
+        Ok(store)
     }
 
     /// The directory this store persists into.
@@ -383,9 +431,10 @@ impl CheckpointStore {
     ///
     /// Returns an error when the directory cannot be read.
     pub fn list(&self) -> Result<Vec<PathBuf>, CheckpointError> {
-        let mut paths: Vec<PathBuf> = fs::read_dir(&self.dir)?
-            .filter_map(Result::ok)
-            .map(|e| e.path())
+        let mut paths: Vec<PathBuf> = self
+            .vfs
+            .list(&self.dir)?
+            .into_iter()
             .filter(|p| {
                 p.extension().is_some_and(|e| e == "ckpt")
                     && p.file_stem()
@@ -397,9 +446,43 @@ impl CheckpointStore {
         Ok(paths)
     }
 
+    /// Orphaned `step-*.ckpt.tmp` files in the store directory — debris
+    /// of a save interrupted between temp-file creation and rename.
+    fn list_tmp(&self) -> Result<Vec<PathBuf>, CheckpointError> {
+        let mut paths: Vec<PathBuf> = self
+            .vfs
+            .list(&self.dir)?
+            .into_iter()
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|s| s.to_str())
+                    .is_some_and(|s| s.starts_with("step-") && s.ends_with(".ckpt.tmp"))
+            })
+            .collect();
+        paths.sort();
+        Ok(paths)
+    }
+
+    /// Deletes orphaned temp files, returning the paths removed.
+    fn reap_tmp(&self) -> Result<Vec<PathBuf>, CheckpointError> {
+        let mut reaped = Vec::new();
+        for path in self.list_tmp()? {
+            if self.vfs.remove(&path).is_ok() {
+                reaped.push(path);
+            }
+        }
+        if !reaped.is_empty() {
+            // Make the reaping durable too; best-effort, as resurrection
+            // after a crash is harmless — the next open reaps again.
+            let _ = self.vfs.sync_dir(&self.dir);
+        }
+        Ok(reaped)
+    }
+
     /// Atomically persists a snapshot: the serialized form is written to a
-    /// temporary file in the same directory, flushed, then renamed into
-    /// place, so a crash mid-write never leaves a half-written snapshot
+    /// temporary file in the same directory, fsynced, renamed into place,
+    /// and the parent directory is fsynced so the rename itself survives
+    /// a crash. A crash mid-write never leaves a half-written snapshot
     /// under the final name. Older snapshots beyond the retention bound
     /// are pruned afterwards.
     ///
@@ -432,12 +515,17 @@ impl CheckpointStore {
     ) -> Result<PathBuf, CheckpointError> {
         let final_path = self.dir.join(format!("step-{step:020}.ckpt"));
         let tmp_path = self.dir.join(format!("step-{step:020}.ckpt.tmp"));
-        {
-            let mut f = fs::File::create(&tmp_path)?;
-            f.write_all(render_text(step, accepted, rng_state, log, state).as_bytes())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp_path, &final_path)?;
+        self.vfs.create(&tmp_path)?;
+        self.vfs.write(
+            &tmp_path,
+            render_text(step, accepted, rng_state, log, state).as_bytes(),
+        )?;
+        self.vfs.sync(&tmp_path)?;
+        self.vfs.rename(&tmp_path, &final_path)?;
+        // The rename only becomes durable once the directory entry is
+        // flushed; without this a crash can silently drop a snapshot the
+        // caller was told is safe.
+        self.vfs.sync_dir(&self.dir)?;
         self.prune()?;
         Ok(final_path)
     }
@@ -447,34 +535,51 @@ impl CheckpointStore {
         if paths.len() > self.retain {
             for p in &paths[..paths.len() - self.retain] {
                 // Best-effort: a failed prune must not fail the save.
-                let _ = fs::remove_file(p);
+                let _ = self.vfs.remove(p);
             }
         }
         Ok(())
     }
 
-    /// Loads and validates one specific snapshot file.
+    /// Loads and validates one specific snapshot file. Beyond the payload
+    /// checksum, the step embedded in the payload must agree with the step
+    /// encoded in the filename — a mismatch means the file was moved or
+    /// its content belongs to a different snapshot, and trusting either
+    /// number would break resume ordering.
     ///
     /// # Errors
     ///
     /// Returns [`CheckpointError::Corrupt`] when validation fails and
     /// [`CheckpointError::Io`] when the file cannot be read.
     pub fn load<S: StateCodec>(&self, path: &Path) -> Result<Checkpoint<S>, CheckpointError> {
-        let text = fs::read_to_string(path)?;
-        Checkpoint::from_text(&text).map_err(|reason| CheckpointError::Corrupt {
+        let corrupt = |reason: String| CheckpointError::Corrupt {
             path: path.to_path_buf(),
             reason,
-        })
+        };
+        let bytes = self.vfs.read(path)?;
+        let text = std::str::from_utf8(&bytes).map_err(|e| corrupt(format!("not UTF-8: {e}")))?;
+        let ckpt = Checkpoint::from_text(text).map_err(corrupt)?;
+        if let Some(name_step) = step_from_filename(path) {
+            if name_step != ckpt.step {
+                return Err(corrupt(format!(
+                    "filename says step {name_step} but payload says step {}",
+                    ckpt.step
+                )));
+            }
+        }
+        Ok(ckpt)
     }
 
     /// Scans newest-to-oldest for a valid snapshot, skipping (and
-    /// reporting) any that fail validation. Never panics on corrupt
-    /// input; an empty or fully-corrupt store yields `checkpoint: None`.
+    /// reporting) any that fail validation, and reaping orphaned temp
+    /// files left by a crash mid-save. Never panics on corrupt input; an
+    /// empty or fully-corrupt store yields `checkpoint: None`.
     ///
     /// # Errors
     ///
     /// Returns an error only for directory-level I/O failures.
     pub fn recover<S: StateCodec>(&self) -> Result<Recovery<S>, CheckpointError> {
+        let reaped = self.reap_tmp()?;
         let mut rejected = Vec::new();
         for path in self.list()?.into_iter().rev() {
             match self.load::<S>(&path) {
@@ -482,6 +587,7 @@ impl CheckpointStore {
                     return Ok(Recovery {
                         checkpoint: Some(ckpt),
                         rejected,
+                        reaped,
                     })
                 }
                 Err(_) => rejected.push(path),
@@ -490,8 +596,19 @@ impl CheckpointStore {
         Ok(Recovery {
             checkpoint: None,
             rejected,
+            reaped,
         })
     }
+}
+
+/// Parses the step count out of a `step-<N>.ckpt` filename, if the path
+/// matches that shape.
+fn step_from_filename(path: &Path) -> Option<u64> {
+    path.file_name()
+        .and_then(|s| s.to_str())
+        .and_then(|s| s.strip_prefix("step-"))
+        .and_then(|s| s.strip_suffix(".ckpt"))
+        .and_then(|s| s.parse().ok())
 }
 
 /// The result of a checkpointed run.
@@ -509,6 +626,8 @@ pub struct CheckpointedRun {
     pub resumed_from: Option<u64>,
     /// Corrupt snapshot files skipped during recovery.
     pub rejected: Vec<PathBuf>,
+    /// Orphaned temp files reaped during recovery.
+    pub reaped: Vec<PathBuf>,
     /// Number of snapshots written during this invocation.
     pub snapshots_written: usize,
 }
@@ -562,6 +681,7 @@ pub trait MarkovChainCheckpointExt: MarkovChain {
         let Recovery {
             checkpoint,
             rejected,
+            reaped,
         } = store.recover::<Self::State>()?;
 
         let mut t;
@@ -614,6 +734,7 @@ pub trait MarkovChainCheckpointExt: MarkovChain {
             log,
             resumed_from,
             rejected,
+            reaped,
             snapshots_written,
         })
     }
@@ -624,6 +745,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{RngExt as _, SeedableRng};
+    use std::fs;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A fresh scratch directory per test, removed on drop.
@@ -760,6 +882,105 @@ mod tests {
         let rec: Recovery<u64> = store.recover().unwrap();
         assert!(rec.checkpoint.is_none());
         assert_eq!(rec.rejected.len(), 1);
+    }
+
+    #[test]
+    fn empty_store_recovers_to_none() {
+        let scratch = Scratch::new("empty");
+        let store = CheckpointStore::open(&scratch.0, 5).unwrap();
+        let rec: Recovery<u64> = store.recover().unwrap();
+        assert!(rec.checkpoint.is_none());
+        assert!(rec.rejected.is_empty());
+        assert!(rec.reaped.is_empty());
+    }
+
+    #[test]
+    fn recover_reaps_orphaned_tmp_files() {
+        let scratch = Scratch::new("reap");
+        let store = CheckpointStore::open(&scratch.0, 5).unwrap();
+        store
+            .save(&Checkpoint {
+                step: 10,
+                accepted: 3,
+                rng_state: vec![1; 32],
+                log: vec![],
+                state: 10u64,
+            })
+            .unwrap();
+        let orphan = scratch.0.join("step-00000000000000000020.ckpt.tmp");
+        fs::write(&orphan, "half-written snapshot").unwrap();
+
+        let rec: Recovery<u64> = store.recover().unwrap();
+        assert_eq!(rec.checkpoint.unwrap().step, 10);
+        assert_eq!(rec.reaped, vec![orphan.clone()]);
+        assert!(!orphan.exists(), "orphan must be deleted");
+        // A second scan finds nothing left to reap.
+        let rec: Recovery<u64> = store.recover().unwrap();
+        assert!(rec.reaped.is_empty());
+    }
+
+    #[test]
+    fn open_reaps_orphaned_tmp_files() {
+        let scratch = Scratch::new("reap-open");
+        let orphan = scratch.0.join("step-00000000000000000007.ckpt.tmp");
+        fs::write(&orphan, "leftover").unwrap();
+        let _store = CheckpointStore::open(&scratch.0, 5).unwrap();
+        assert!(!orphan.exists(), "open must clear crash debris");
+    }
+
+    #[test]
+    fn duplicate_step_snapshots_resolve_without_rejection() {
+        let scratch = Scratch::new("dup");
+        let store = CheckpointStore::open(&scratch.0, 5).unwrap();
+        let path = store
+            .save(&Checkpoint {
+                step: 10,
+                accepted: 4,
+                rng_state: vec![2; 32],
+                log: vec![(0, 1.0)],
+                state: 10u64,
+            })
+            .unwrap();
+        // A second file whose unpadded name encodes the same step — both
+        // are internally valid, recovery just picks one deterministically.
+        fs::copy(&path, scratch.0.join("step-10.ckpt")).unwrap();
+        let rec: Recovery<u64> = store.recover().unwrap();
+        assert_eq!(rec.checkpoint.unwrap().step, 10);
+        assert!(rec.rejected.is_empty());
+    }
+
+    #[test]
+    fn filename_step_disagreement_is_rejected() {
+        let scratch = Scratch::new("mismatch");
+        let store = CheckpointStore::open(&scratch.0, 5).unwrap();
+        let mut saved = Vec::new();
+        for step in [10u64, 20] {
+            saved.push(
+                store
+                    .save(&Checkpoint {
+                        step,
+                        accepted: step,
+                        rng_state: vec![3; 32],
+                        log: vec![],
+                        state: step,
+                    })
+                    .unwrap(),
+            );
+        }
+        // The newest file now holds the *older* snapshot's bytes: its
+        // checksum still validates, but the embedded step disagrees with
+        // the filename, so trusting it would rewind the run silently.
+        fs::copy(&saved[0], &saved[1]).unwrap();
+        let err = store.load::<u64>(&saved[1]).unwrap_err();
+        match err {
+            CheckpointError::Corrupt { reason, .. } => {
+                assert!(reason.contains("filename says step 20"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        let rec: Recovery<u64> = store.recover().unwrap();
+        assert_eq!(rec.checkpoint.unwrap().step, 10);
+        assert_eq!(rec.rejected, vec![saved[1].clone()]);
     }
 
     #[test]

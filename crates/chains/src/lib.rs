@@ -13,6 +13,14 @@
 //! * [`checkpoint`] — crash-tolerant checkpoint/resume for long runs:
 //!   atomic snapshots of state + RNG + observable log, checksum-verified
 //!   recovery, and invariant auditing before every persist;
+//! * [`vfs`] — the storage seam under the checkpoint store: a [`Vfs`]
+//!   trait with a real backend and a deterministic [`FaultyVfs`] that
+//!   models crash consistency (torn writes, bit flips, `ENOSPC`, volatile
+//!   renames) for the crash-point fuzzer;
+//! * [`recovery`] — the self-healing escalation ladder for supervised
+//!   runs: audit violation → in-place [`Repairable::repair_state`] →
+//!   rollback to the last good checkpoint, with step-counter heartbeats
+//!   for stall detection;
 //! * [`metropolis`] — the Metropolis filter (Metropolis–Hastings acceptance
 //!   rule) used by Algorithm 1;
 //! * [`stats`] — empirical distributions, total-variation distance, and
@@ -52,8 +60,10 @@ mod chain;
 pub mod checkpoint;
 mod exact;
 pub mod metropolis;
+pub mod recovery;
 pub mod stats;
 pub mod telemetry;
+pub mod vfs;
 
 pub use chain::{MarkovChain, Trajectory};
 pub use checkpoint::{
@@ -61,7 +71,11 @@ pub use checkpoint::{
     MarkovChainCheckpointExt, Recovery, SnapshotRng, StateCodec,
 };
 pub use exact::{EnumerableChain, TransitionMatrix};
+pub use recovery::{
+    run_supervised, Heartbeat, RecoveryEvent, Repairable, SupervisedOptions, SupervisedRun,
+};
 pub use telemetry::{
     ClassifiedChain, Instrumented, JsonlSink, OutcomeClass, RingBuffer, RunManifest,
     TelemetryReport,
 };
+pub use vfs::{CrashStyle, FaultyVfs, RealVfs, Vfs};

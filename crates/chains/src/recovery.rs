@@ -1,0 +1,746 @@
+//! The self-healing escalation ladder for supervised chain runs.
+//!
+//! [`MarkovChainCheckpointExt::run_checkpointed`](crate::checkpoint::MarkovChainCheckpointExt::run_checkpointed)
+//! treats a failed invariant audit as fatal: the run aborts and the cell
+//! dies. For multi-hour sweeps that policy throws away enormous amounts of
+//! work over recoverable faults (a drifted cached counter is fully
+//! reconstructible from the occupancy it summarizes). [`run_supervised`]
+//! instead walks an escalation ladder at every chunk boundary:
+//!
+//! 1. **audit** — if the state is consistent, persist and continue;
+//! 2. **repair** — ask the state to fix itself in place
+//!    ([`Repairable::repair_state`], e.g. rebuilding counter caches from
+//!    occupancy); if the audit then passes, record a
+//!    [`RecoveryEvent::Repaired`] and continue;
+//! 3. **rollback** — restore the last good checkpoint (state + RNG +
+//!    counters), record a [`RecoveryEvent::RolledBack`], and re-run the
+//!    lost span; bounded by [`SupervisedOptions::max_rollbacks`] so a
+//!    deterministic corruption source cannot loop forever;
+//! 4. **fail** — only when the ladder is exhausted does the run abort.
+//!
+//! The driver also feeds a [`Heartbeat`] — a shared step counter a
+//! watchdog thread can poll to detect stalled cells and cancel them
+//! cooperatively (the run notices at the next chunk boundary and returns
+//! with `completed: false` instead of wedging the sweep).
+//!
+//! Everything here lives *outside* the proposal kernel: the ladder runs
+//! once per chunk (typically 10⁴–10⁶ steps), so the hot path is untouched.
+
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use rand::Rng;
+
+use crate::chain::MarkovChain;
+use crate::checkpoint::{
+    Auditable, CheckpointError, CheckpointStore, Recovery, SnapshotRng, StateCodec,
+};
+
+/// A state that can attempt to repair its own invariant violations in
+/// place.
+///
+/// Repair targets *derived* data — caches and counters recomputable from
+/// the primary representation. Structural damage (occupancy corruption,
+/// disconnection) is not repairable and must escalate to rollback.
+pub trait Repairable {
+    /// Attempts in-place repair.
+    ///
+    /// Returns `Ok(actions)` describing what was rebuilt when the state
+    /// believes it is now consistent (the caller re-audits to confirm),
+    /// or `Err(reasons)` naming the violations that cannot be repaired
+    /// in place.
+    ///
+    /// # Errors
+    ///
+    /// `Err` carries the unrepairable violations; the caller escalates
+    /// to rollback.
+    fn repair_state(&mut self) -> Result<Vec<String>, Vec<String>>;
+}
+
+/// A shared step-counter heartbeat with cooperative cancellation.
+///
+/// The supervised runner bumps the counter at every chunk boundary; a
+/// watchdog that sees the counter frozen across consecutive polls can
+/// [`Heartbeat::cancel`] the cell, and the runner exits cleanly at its
+/// next boundary. All methods take `&self`; share via `Arc`.
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    steps: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl Heartbeat {
+    /// A fresh heartbeat at step 0, not cancelled.
+    #[must_use]
+    pub fn new() -> Self {
+        Heartbeat::default()
+    }
+
+    /// Records progress: the run has completed `steps` total steps.
+    pub fn beat(&self, steps: u64) {
+        self.steps.store(steps, Ordering::Relaxed);
+    }
+
+    /// The last step count reported by [`Heartbeat::beat`].
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Requests cooperative cancellation; the runner returns with
+    /// `completed: false` at its next chunk boundary.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// One rung taken on the escalation ladder during a supervised run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// An audit failed and in-place repair restored consistency.
+    Repaired {
+        /// Step count at which the audit fired.
+        step: u64,
+        /// What the repair rebuilt (from [`Repairable::repair_state`]).
+        actions: Vec<String>,
+    },
+    /// An audit failed, repair could not help, and the run rolled back
+    /// to the last good checkpoint.
+    RolledBack {
+        /// Step count at which the audit fired.
+        from_step: u64,
+        /// Step count of the restored checkpoint (0 = initial state).
+        to_step: u64,
+        /// The violations that forced the rollback.
+        violations: Vec<String>,
+    },
+    /// The watchdog (or caller) cancelled the run mid-flight.
+    Cancelled {
+        /// Step count reached when cancellation was observed.
+        step: u64,
+    },
+}
+
+/// Tuning for [`run_supervised`].
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisedOptions {
+    /// Total steps to run.
+    pub steps: u64,
+    /// Chunk length: audit/checkpoint/heartbeat interval. Must be > 0.
+    pub every: u64,
+    /// Maximum rollbacks before the run gives up. Repairs are not
+    /// counted — only full rollbacks consume budget.
+    pub max_rollbacks: u32,
+}
+
+/// The result of a supervised run.
+#[derive(Debug)]
+pub struct SupervisedRun {
+    /// Steps actually completed (may be short of the request when the
+    /// run was cancelled or the `on_chunk` hook broke out early).
+    pub steps: u64,
+    /// Accepted (state-changing) steps, including replayed spans.
+    pub accepted: u64,
+    /// Observable log `(time, value)`.
+    pub log: Vec<(u64, f64)>,
+    /// Step count of the snapshot the run resumed from, if any.
+    pub resumed_from: Option<u64>,
+    /// Corrupt snapshot files skipped during recovery.
+    pub rejected: Vec<PathBuf>,
+    /// Orphaned temp files reaped during recovery.
+    pub reaped: Vec<PathBuf>,
+    /// Snapshots written during this invocation.
+    pub snapshots_written: usize,
+    /// Ladder rungs taken, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// `false` when the run was cancelled before finishing.
+    pub completed: bool,
+}
+
+impl SupervisedRun {
+    /// Whether any repair or rollback happened.
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                RecoveryEvent::Repaired { .. } | RecoveryEvent::RolledBack { .. }
+            )
+        })
+    }
+}
+
+/// Runs a chain under the full escalation ladder: chunked execution with
+/// heartbeats, audit → repair → rollback on invariant violations, and
+/// checkpoint persistence after every clean chunk.
+///
+/// `observe` samples the observable at every chunk boundary (and at time
+/// 0 on a fresh start). `on_chunk` runs after each chunk *before* the
+/// audit — it is the hook for separation checks (return
+/// [`ControlFlow::Break`] to stop early, e.g. on hitting a target),
+/// telemetry emission, and fault injection in tests; state mutations it
+/// makes are subject to the same audit as chain steps.
+///
+/// Resumes from the newest valid snapshot in `store` when one exists,
+/// with the same bitwise-determinism contract as `run_checkpointed`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on persistence failures and
+/// [`CheckpointError::AuditFailed`] only when the ladder is exhausted:
+/// repair failed and more than [`SupervisedOptions::max_rollbacks`]
+/// rollbacks were needed.
+///
+/// # Panics
+///
+/// Panics if `opts.every` is 0.
+#[allow(clippy::too_many_arguments)] // the ladder genuinely takes this many collaborators
+pub fn run_supervised<C, R, F, G>(
+    chain: &C,
+    state: &mut C::State,
+    rng: &mut R,
+    store: &CheckpointStore,
+    opts: &SupervisedOptions,
+    heartbeat: &Heartbeat,
+    mut observe: F,
+    mut on_chunk: G,
+) -> Result<SupervisedRun, CheckpointError>
+where
+    C: MarkovChain,
+    C::State: StateCodec + Auditable + Repairable,
+    R: Rng + SnapshotRng + ?Sized,
+    F: FnMut(&C::State) -> f64,
+    G: FnMut(u64, &mut C::State) -> ControlFlow<()>,
+{
+    assert!(opts.every > 0, "supervised chunk length must be positive");
+
+    let Recovery {
+        checkpoint,
+        rejected,
+        reaped,
+    } = store.recover::<C::State>()?;
+
+    let mut t;
+    let mut accepted;
+    let mut log;
+    let resumed_from;
+    match checkpoint {
+        Some(ckpt) if ckpt.step <= opts.steps => {
+            *state = ckpt.state;
+            rng.restore_rng_state(&ckpt.rng_state)
+                .map_err(|reason| CheckpointError::Corrupt {
+                    path: store.dir().to_path_buf(),
+                    reason,
+                })?;
+            t = ckpt.step;
+            accepted = ckpt.accepted;
+            log = ckpt.log;
+            resumed_from = Some(t);
+        }
+        _ => {
+            t = 0;
+            accepted = 0;
+            log = vec![(0, observe(state))];
+            resumed_from = None;
+        }
+    }
+
+    // The rollback anchor of last resort: when no checkpoint has been
+    // written yet, the ladder restores this entry-point snapshot.
+    let initial_state = state.encode_state();
+    let initial_rng = rng.rng_state();
+    let initial_t = t;
+    let initial_accepted = accepted;
+    let initial_log = log.clone();
+
+    let mut events = Vec::new();
+    let mut rollbacks = 0u32;
+    let mut snapshots_written = 0;
+
+    while t < opts.steps {
+        if heartbeat.is_cancelled() {
+            events.push(RecoveryEvent::Cancelled { step: t });
+            return Ok(SupervisedRun {
+                steps: t,
+                accepted,
+                log,
+                resumed_from,
+                rejected,
+                reaped,
+                snapshots_written,
+                events,
+                completed: false,
+            });
+        }
+
+        let burst = opts.every.min(opts.steps - t);
+        accepted += chain.run(state, burst, rng);
+        t += burst;
+        heartbeat.beat(t);
+        let flow = on_chunk(t, state);
+
+        // The escalation ladder.
+        let violations = state.audit_violations();
+        if !violations.is_empty() {
+            let repaired = match state.repair_state() {
+                Ok(actions) if state.audit_violations().is_empty() => Some(actions),
+                _ => None,
+            };
+            if let Some(actions) = repaired {
+                events.push(RecoveryEvent::Repaired { step: t, actions });
+            } else {
+                rollbacks += 1;
+                if rollbacks > opts.max_rollbacks {
+                    return Err(CheckpointError::AuditFailed {
+                        step: t,
+                        violations,
+                    });
+                }
+                // Restore the newest durable snapshot; an invariant-
+                // violating state is never persisted, so anything on disk
+                // is trustworthy. Fall back to the entry-point snapshot
+                // when nothing has been written yet.
+                let rec = store.recover::<C::State>()?;
+                let to_step = match rec.checkpoint {
+                    Some(ckpt) => {
+                        let to = ckpt.step;
+                        *state = ckpt.state;
+                        rng.restore_rng_state(&ckpt.rng_state).map_err(|reason| {
+                            CheckpointError::Corrupt {
+                                path: store.dir().to_path_buf(),
+                                reason,
+                            }
+                        })?;
+                        accepted = ckpt.accepted;
+                        log = ckpt.log;
+                        to
+                    }
+                    None => {
+                        *state = C::State::decode_state(&initial_state).map_err(|reason| {
+                            CheckpointError::Corrupt {
+                                path: store.dir().to_path_buf(),
+                                reason,
+                            }
+                        })?;
+                        rng.restore_rng_state(&initial_rng).map_err(|reason| {
+                            CheckpointError::Corrupt {
+                                path: store.dir().to_path_buf(),
+                                reason,
+                            }
+                        })?;
+                        accepted = initial_accepted;
+                        log = initial_log.clone();
+                        initial_t
+                    }
+                };
+                events.push(RecoveryEvent::RolledBack {
+                    from_step: t,
+                    to_step,
+                    violations,
+                });
+                t = to_step;
+                heartbeat.beat(t);
+                continue;
+            }
+        }
+
+        log.push((t, observe(state)));
+        store.save_parts(t, accepted, &rng.rng_state(), &log, state)?;
+        snapshots_written += 1;
+
+        if flow.is_break() {
+            break;
+        }
+    }
+
+    Ok(SupervisedRun {
+        steps: t,
+        accepted,
+        log,
+        resumed_from,
+        rejected,
+        reaped,
+        snapshots_written,
+        events,
+        completed: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::MarkovChainCheckpointExt as _;
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A fresh scratch directory per test, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "sops-recovery-test-{}-{tag}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A walk state with a derived cache (`cache == 2 * x`) that can be
+    /// corrupted (repairable) or structurally poisoned (unrepairable).
+    #[derive(Clone, Debug, PartialEq)]
+    struct Cached {
+        x: u64,
+        cache: u64,
+        poisoned: bool,
+    }
+
+    impl Cached {
+        fn new(x: u64) -> Self {
+            Cached {
+                x,
+                cache: 2 * x,
+                poisoned: false,
+            }
+        }
+    }
+
+    impl StateCodec for Cached {
+        fn encode_state(&self) -> Vec<u8> {
+            // Only the primary datum travels; the cache is derived on
+            // decode, mirroring how Configuration recounts on decode.
+            self.x.to_le_bytes().to_vec()
+        }
+        fn decode_state(bytes: &[u8]) -> Result<Self, String> {
+            u64::decode_state(bytes).map(Cached::new)
+        }
+    }
+
+    impl Auditable for Cached {
+        fn audit_violations(&self) -> Vec<String> {
+            let mut v = Vec::new();
+            if self.poisoned {
+                v.push("structural poison".to_string());
+            }
+            if self.cache != 2 * self.x {
+                v.push(format!("cache drift: {} != 2*{}", self.cache, self.x));
+            }
+            v
+        }
+    }
+
+    impl Repairable for Cached {
+        fn repair_state(&mut self) -> Result<Vec<String>, Vec<String>> {
+            if self.poisoned {
+                return Err(vec!["structural poison is not repairable".into()]);
+            }
+            self.cache = 2 * self.x;
+            Ok(vec!["rebuilt cache".into()])
+        }
+    }
+
+    /// Lazy walk on ℤ mod m over the `x` field, cache kept incrementally.
+    struct CachedWalk(u64);
+
+    impl MarkovChain for CachedWalk {
+        type State = Cached;
+        fn step<R: Rng + ?Sized>(&self, s: &mut Cached, rng: &mut R) -> bool {
+            match rng.random_range(0..4u8) {
+                0 => {
+                    s.x = (s.x + 1) % self.0;
+                    s.cache = 2 * s.x;
+                    true
+                }
+                1 => {
+                    s.x = (s.x + self.0 - 1) % self.0;
+                    s.cache = 2 * s.x;
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+
+    const OPTS: SupervisedOptions = SupervisedOptions {
+        steps: 8_000,
+        every: 1_000,
+        max_rollbacks: 3,
+    };
+
+    /// Reference: an uninterrupted, fault-free run of the same chain.
+    fn reference() -> (Cached, Vec<u8>, u64) {
+        let scratch = Scratch::new("ref");
+        let store = CheckpointStore::open(&scratch.0, 2).unwrap();
+        let chain = CachedWalk(97);
+        let mut state = Cached::new(0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let run = chain
+            .run_checkpointed(&mut state, OPTS.steps, OPTS.every, &mut rng, &store, |s| {
+                s.x as f64
+            })
+            .unwrap();
+        (state, rng.to_state_bytes().to_vec(), run.accepted)
+    }
+
+    #[test]
+    fn clean_supervised_run_matches_run_checkpointed() {
+        let (ref_state, ref_rng, ref_accepted) = reference();
+        let scratch = Scratch::new("clean");
+        let store = CheckpointStore::open(&scratch.0, 2).unwrap();
+        let mut state = Cached::new(0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let run = run_supervised(
+            &CachedWalk(97),
+            &mut state,
+            &mut rng,
+            &store,
+            &OPTS,
+            &Heartbeat::new(),
+            |s| s.x as f64,
+            |_, _| ControlFlow::Continue(()),
+        )
+        .unwrap();
+        assert!(run.completed);
+        assert!(run.events.is_empty());
+        assert_eq!(state, ref_state);
+        assert_eq!(rng.to_state_bytes().to_vec(), ref_rng);
+        assert_eq!(run.accepted, ref_accepted);
+    }
+
+    #[test]
+    fn counter_corruption_is_repaired_in_place() {
+        let (ref_state, ref_rng, ref_accepted) = reference();
+        let scratch = Scratch::new("repair");
+        let store = CheckpointStore::open(&scratch.0, 2).unwrap();
+        let mut state = Cached::new(0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut injected = false;
+        let run = run_supervised(
+            &CachedWalk(97),
+            &mut state,
+            &mut rng,
+            &store,
+            &OPTS,
+            &Heartbeat::new(),
+            |s| s.x as f64,
+            |t, s: &mut Cached| {
+                if t == 3_000 && !injected {
+                    injected = true;
+                    s.cache = s.cache.wrapping_add(7);
+                }
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+        assert!(run.completed);
+        assert!(
+            matches!(
+                run.events.as_slice(),
+                [RecoveryEvent::Repaired { step: 3_000, .. }]
+            ),
+            "{:?}",
+            run.events
+        );
+        // Repair rebuilds the exact cache, so the run converges to the
+        // fault-free result bit for bit.
+        assert_eq!(state, ref_state);
+        assert_eq!(rng.to_state_bytes().to_vec(), ref_rng);
+        assert_eq!(run.accepted, ref_accepted);
+    }
+
+    #[test]
+    fn unrepairable_corruption_rolls_back_to_checkpoint() {
+        let (ref_state, ref_rng, ref_accepted) = reference();
+        let scratch = Scratch::new("rollback");
+        let store = CheckpointStore::open(&scratch.0, 2).unwrap();
+        let mut state = Cached::new(0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut injected = false;
+        let run = run_supervised(
+            &CachedWalk(97),
+            &mut state,
+            &mut rng,
+            &store,
+            &OPTS,
+            &Heartbeat::new(),
+            |s| s.x as f64,
+            |t, s: &mut Cached| {
+                if t == 4_000 && !injected {
+                    injected = true;
+                    s.poisoned = true;
+                }
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+        assert!(run.completed);
+        assert!(
+            matches!(
+                run.events.as_slice(),
+                [RecoveryEvent::RolledBack {
+                    from_step: 4_000,
+                    to_step: 3_000,
+                    ..
+                }]
+            ),
+            "{:?}",
+            run.events
+        );
+        // Rollback restores the checkpointed RNG too, so the replayed
+        // span draws the same stream and lands on the reference result.
+        assert_eq!(state, ref_state);
+        assert_eq!(rng.to_state_bytes().to_vec(), ref_rng);
+        assert_eq!(run.accepted, ref_accepted);
+    }
+
+    #[test]
+    fn rollback_before_first_checkpoint_restores_entry_state() {
+        let (ref_state, ..) = reference();
+        let scratch = Scratch::new("rollback0");
+        let store = CheckpointStore::open(&scratch.0, 2).unwrap();
+        let mut state = Cached::new(0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut injected = false;
+        let run = run_supervised(
+            &CachedWalk(97),
+            &mut state,
+            &mut rng,
+            &store,
+            &OPTS,
+            &Heartbeat::new(),
+            |s| s.x as f64,
+            |t, s: &mut Cached| {
+                if t == 1_000 && !injected {
+                    injected = true;
+                    s.poisoned = true;
+                }
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+        assert!(run.completed);
+        assert!(
+            matches!(
+                run.events.as_slice(),
+                [RecoveryEvent::RolledBack {
+                    from_step: 1_000,
+                    to_step: 0,
+                    ..
+                }]
+            ),
+            "{:?}",
+            run.events
+        );
+        assert_eq!(state, ref_state);
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_the_ladder() {
+        let scratch = Scratch::new("exhaust");
+        let store = CheckpointStore::open(&scratch.0, 2).unwrap();
+        let mut state = Cached::new(0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let err = run_supervised(
+            &CachedWalk(97),
+            &mut state,
+            &mut rng,
+            &store,
+            &OPTS,
+            &Heartbeat::new(),
+            |s| s.x as f64,
+            // Poison every chunk: repair can never help, rollback budget
+            // drains, and the run must fail rather than spin forever.
+            |_, s: &mut Cached| {
+                s.poisoned = true;
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::AuditFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn cancellation_stops_at_chunk_boundary() {
+        let scratch = Scratch::new("cancel");
+        let store = CheckpointStore::open(&scratch.0, 2).unwrap();
+        let heartbeat = Heartbeat::new();
+        let mut state = Cached::new(0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let run = run_supervised(
+            &CachedWalk(97),
+            &mut state,
+            &mut rng,
+            &store,
+            &OPTS,
+            &heartbeat,
+            |s| s.x as f64,
+            |t, _| {
+                if t == 2_000 {
+                    heartbeat.cancel();
+                }
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+        assert!(!run.completed);
+        assert_eq!(run.steps, 2_000);
+        assert!(
+            matches!(
+                run.events.as_slice(),
+                [RecoveryEvent::Cancelled { step: 2_000 }]
+            ),
+            "{:?}",
+            run.events
+        );
+        assert_eq!(heartbeat.steps(), 2_000);
+    }
+
+    #[test]
+    fn on_chunk_break_stops_early_after_persisting() {
+        let scratch = Scratch::new("break");
+        let store = CheckpointStore::open(&scratch.0, 2).unwrap();
+        let mut state = Cached::new(0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let run = run_supervised(
+            &CachedWalk(97),
+            &mut state,
+            &mut rng,
+            &store,
+            &OPTS,
+            &Heartbeat::new(),
+            |s| s.x as f64,
+            |t, _| {
+                if t >= 3_000 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        )
+        .unwrap();
+        assert!(run.completed);
+        assert_eq!(run.steps, 3_000);
+        // The stopping state was checkpointed, so a later invocation
+        // resumes from exactly here.
+        let rec = store.recover::<Cached>().unwrap();
+        assert_eq!(rec.checkpoint.unwrap().step, 3_000);
+    }
+}

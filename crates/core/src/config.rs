@@ -4,7 +4,7 @@ use core::fmt;
 
 use sops_lattice::{ring_offsets, Direction, Node, NodeMap, NodeSet, DIRECTIONS};
 
-use crate::error::{AuditReport, AuditViolation, ChainStateError};
+use crate::error::{AuditReport, AuditViolation, ChainStateError, RepairOutcome};
 use crate::{Color, ConfigError};
 
 /// Map payload: which particle sits on a node, and its color.
@@ -526,6 +526,71 @@ impl Configuration {
             }
         }
         (edges, hetero)
+    }
+
+    /// Rebuilds the incrementally-maintained counter caches (`e(σ)`,
+    /// `h(σ)`) from the occupancy map alone, returning the previous
+    /// `(edges, hetero)` values they replaced.
+    ///
+    /// The counters are pure summaries of occupancy, so this is always
+    /// sound: after a rebuild the counter-class audit checks
+    /// ([`AuditViolation::EdgeCountDrift`],
+    /// [`AuditViolation::HeteroCountDrift`],
+    /// [`AuditViolation::PerimeterUnderflow`]) are guaranteed clean, and
+    /// on an already-consistent configuration the call is a no-op
+    /// (round-trips bit for bit). O(n); intended for the recovery ladder,
+    /// not the proposal hot path.
+    pub fn rebuild_counters(&mut self) -> (u64, u64) {
+        let old = (self.edges, self.hetero);
+        let (edges, hetero) = self.recount();
+        self.edges = edges;
+        self.hetero = hetero;
+        old
+    }
+
+    /// Attempts to reconcile an [`AuditReport`]'s violations in place.
+    ///
+    /// Counter-class violations are fixed by [`Configuration::rebuild_counters`];
+    /// structural violations (occupancy desync, disconnection,
+    /// perimeter/boundary-walk mismatch) are returned in
+    /// [`RepairOutcome::unrepaired`] — the primary representation itself
+    /// is damaged and the only sound recovery is restoring an earlier
+    /// trusted state.
+    pub fn repair(&mut self, report: &AuditReport) -> RepairOutcome {
+        let mut repaired = Vec::new();
+        let mut unrepaired = Vec::new();
+        let mut rebuild = false;
+        for v in &report.violations {
+            match v {
+                AuditViolation::EdgeCountDrift { .. }
+                | AuditViolation::HeteroCountDrift { .. }
+                | AuditViolation::PerimeterUnderflow { .. } => rebuild = true,
+                other => unrepaired.push(other.clone()),
+            }
+        }
+        if rebuild {
+            let (old_edges, old_hetero) = self.rebuild_counters();
+            repaired.push(format!(
+                "rebuilt counter caches from occupancy: edges {old_edges} → {}, \
+                 hetero {old_hetero} → {}",
+                self.edges, self.hetero
+            ));
+        }
+        RepairOutcome {
+            repaired,
+            unrepaired,
+        }
+    }
+
+    /// Overwrites the tracked counter caches with arbitrary values.
+    ///
+    /// A fault-injection hook for cross-crate recovery tests (it is the
+    /// only way to manufacture counter corruption without unsafe code);
+    /// hidden from docs because no real caller should ever use it.
+    #[doc(hidden)]
+    pub fn inject_counter_fault(&mut self, edges: u64, hetero: u64) {
+        self.edges = edges;
+        self.hetero = hetero;
     }
 
     /// Whether the configuration is connected in `G_Δ`.

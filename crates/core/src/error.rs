@@ -242,6 +242,32 @@ impl AuditReport {
     }
 }
 
+/// The result of [`crate::Configuration::repair`]: what an in-place
+/// repair pass fixed and what it could not.
+///
+/// Repairable violations are exactly the counter-cache class —
+/// [`AuditViolation::EdgeCountDrift`], [`AuditViolation::HeteroCountDrift`],
+/// and [`AuditViolation::PerimeterUnderflow`] — since those caches are
+/// fully derivable from the occupancy map. Structural violations
+/// (occupancy desync, disconnection, perimeter/walk mismatch) mean the
+/// primary representation itself is damaged; no in-place fix is sound, and
+/// the caller must escalate to a rollback.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepairOutcome {
+    /// Human-readable descriptions of the repairs performed.
+    pub repaired: Vec<String>,
+    /// Violations that cannot be repaired in place.
+    pub unrepaired: Vec<AuditViolation>,
+}
+
+impl RepairOutcome {
+    /// Whether every reported violation was repaired.
+    #[must_use]
+    pub fn fully_repaired(&self) -> bool {
+        self.unrepaired.is_empty()
+    }
+}
+
 impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -6,9 +6,11 @@
 //! recomputed on decode by [`Configuration::new`], so a snapshot can never
 //! smuggle inconsistent bookkeeping back in. [`sops_chains::Auditable`]
 //! delegates to [`Configuration::audit`], giving the checkpoint layer its
-//! refuse-to-persist-corrupt-state guarantee.
+//! refuse-to-persist-corrupt-state guarantee. [`sops_chains::Repairable`]
+//! delegates to [`Configuration::repair`], letting the recovery ladder fix
+//! counter-cache corruption in place instead of killing the run.
 
-use sops_chains::{Auditable, StateCodec};
+use sops_chains::{Auditable, Repairable, StateCodec};
 use sops_lattice::Node;
 
 use crate::{Color, Configuration};
@@ -56,6 +58,21 @@ impl StateCodec for Configuration {
 impl Auditable for Configuration {
     fn audit_violations(&self) -> Vec<String> {
         self.audit().violation_messages()
+    }
+}
+
+impl Repairable for Configuration {
+    fn repair_state(&mut self) -> Result<Vec<String>, Vec<String>> {
+        let report = self.audit();
+        if report.is_consistent() {
+            return Ok(Vec::new());
+        }
+        let outcome = self.repair(&report);
+        if outcome.fully_repaired() {
+            Ok(outcome.repaired)
+        } else {
+            Err(outcome.unrepaired.iter().map(ToString::to_string).collect())
+        }
     }
 }
 
