@@ -2,12 +2,14 @@
 //! disallowed, but takes much longer to achieve." We measure the first
 //! hitting time of a (β, δ)-separation certificate with and without swaps.
 //!
-//! The no-swap arms run for up to 2×10⁸ steps, so the hitting loop is
-//! resumable: with `--checkpoint-dir DIR` each replicate snapshots its
-//! state + RNG every check interval, `--resume` continues a killed run
-//! from the newest valid snapshot (falling back past corrupt ones), and
-//! `--audit-every N` re-verifies configuration invariants from scratch as
-//! the loop proceeds. Per-cell outcomes land in
+//! The no-swap arms run for up to 2×10⁸ steps, so the hitting loop runs
+//! under `sops-runtime` and is resumable: with `--checkpoint-dir DIR` each
+//! replicate snapshots its state + RNG every check interval, `--resume`
+//! continues a killed run from the newest valid snapshot (falling back
+//! past corrupt ones), `--audit-every N` re-verifies configuration
+//! invariants from scratch as the loop proceeds, and the
+//! `--deadline-ms`/`--max-steps` budget flags degrade the sweep gracefully
+//! instead of wedging it. Per-cell outcomes land in
 //! `results/ablate_swaps-cells.json`; each arm additionally streams step
 //! telemetry to `results/logs/ablate_swaps-*.telemetry.jsonl` unless
 //! `--no-telemetry` is passed — the outcome counters there show *why* the
@@ -17,11 +19,13 @@
 use std::ops::ControlFlow;
 
 use sops_analysis::is_separated;
-use sops_bench::supervisor::{run_cells, write_cell_report, CellContext, SweepOptions};
 use sops_bench::{instrument_chain, seed_hash_attempt, seeded_attempt, Table};
 use sops_chains::telemetry::series_record_json;
-use sops_chains::{run_supervised, MarkovChain, Recovery, RunManifest, SupervisedOptions};
+use sops_chains::{Recovery, RunManifest};
 use sops_core::{construct, Bias, Configuration, SeparationChain};
+use sops_runtime::{
+    run_chain, write_cell_report, ChainJob, JobContext, JobError, Runtime, SweepOptions,
+};
 
 const N: usize = 100;
 const CAP: u64 = 200_000_000;
@@ -33,8 +37,8 @@ fn time_to_separation(
     swaps: bool,
     replicate: u64,
     opts: &SweepOptions,
-    ctx: &CellContext<'_>,
-) -> Result<Option<u64>, String> {
+    ctx: &JobContext<'_>,
+) -> Result<Option<u64>, JobError> {
     // Attempt 1 reproduces the published seed; a retry draws a fresh
     // stream so a seed-dependent fault is not re-hit verbatim.
     let mut rng = seeded_attempt(
@@ -52,9 +56,7 @@ fn time_to_separation(
         SeparationChain::without_swaps(bias)
     };
 
-    let store = opts
-        .store_for(&format!("swaps={swaps}-r{replicate}"))
-        .map_err(|e| e.to_string())?;
+    let store = opts.store_for(&format!("swaps={swaps}-r{replicate}"))?;
 
     // Peek at the newest snapshot before running: snapshots are written at
     // the chunk that hit separation, so a resumed cell whose snapshot is
@@ -66,9 +68,7 @@ fn time_to_separation(
             checkpoint,
             rejected,
             reaped,
-        } = store
-            .recover::<Configuration>()
-            .map_err(|e| e.to_string())?;
+        } = store.recover::<Configuration>()?;
         for path in &rejected {
             eprintln!(
                 "swaps={swaps} r{replicate}: skipped corrupt snapshot {}",
@@ -93,7 +93,10 @@ fn time_to_separation(
     // Telemetry counts only this process's steps, so the resume offset t0
     // anchors every metrics record and the stream stays contiguous.
     let cell = format!("swaps={swaps}-r{replicate}");
-    let chain = instrument_chain(chain, opts.telemetry);
+    let mut chain = instrument_chain(chain, opts.telemetry);
+    if let Some(cap) = opts.ring_capacity() {
+        chain = chain.with_ring_capacity(cap);
+    }
     let manifest = RunManifest {
         run: format!("ablate_swaps/{cell}"),
         seed: seed_hash_attempt(
@@ -106,108 +109,68 @@ fn time_to_separation(
         n: N as u64,
         steps: CAP,
     };
-    let mut sink = opts
-        .telemetry_sink("ablate_swaps", &cell, &manifest, (t0 > 0).then_some(t0))
-        .map_err(|e| e.to_string())?;
+    let mut sink = opts.telemetry_sink(
+        &sops_bench::logs_dir(),
+        "ablate_swaps",
+        &cell,
+        &manifest,
+        (t0 > 0).then_some(t0),
+    )?;
 
     if hit.is_none() {
-        match &store {
-            // With a checkpoint store, the hitting loop runs under the
-            // escalation ladder (audit → repair → rollback) with
-            // heartbeats; the separation check rides the on_chunk hook.
-            Some(store) => {
-                let sup = SupervisedOptions {
-                    steps: CAP,
-                    every: CHECK_EVERY,
-                    max_rollbacks: 3,
-                };
-                let mut sink_err = None;
-                let run = run_supervised(
-                    &chain,
-                    &mut config,
-                    &mut rng,
-                    store,
-                    &sup,
-                    ctx.heartbeat,
-                    |c| c.perimeter() as f64,
-                    |t, c| {
-                        if let Some(sink) = &mut sink {
-                            if (t - t0) % METRICS_EVERY == 0 {
-                                if let Err(e) = sink.record_metrics(t0, &chain.report()) {
-                                    sink_err = Some(e.to_string());
-                                    return ControlFlow::Break(());
-                                }
-                            }
-                        }
-                        if is_separated(c, 4.0, 0.2).is_some() {
-                            hit = Some(t);
+        let job = ChainJob {
+            steps: CAP,
+            every: CHECK_EVERY,
+            store: store.as_ref(),
+            audit_every: opts.audit_every,
+        };
+        let mut sink_err = None;
+        let run = run_chain(
+            ctx,
+            &chain,
+            &mut config,
+            &mut rng,
+            job,
+            |c| c.perimeter() as f64,
+            |t, c| {
+                if let Some(sink) = &mut sink {
+                    if (t - t0) % METRICS_EVERY == 0 {
+                        if let Err(e) = sink.record_metrics(t0, &chain.report()) {
+                            sink_err = Some(e);
                             return ControlFlow::Break(());
                         }
-                        ControlFlow::Continue(())
-                    },
-                )
-                .map_err(|e| e.to_string())?;
-                ctx.absorb(&run);
-                for event in &run.events {
-                    eprintln!("swaps={swaps} r{replicate}: {event:?}");
-                }
-                if let Some(e) = sink_err {
-                    return Err(e);
-                }
-                if !run.completed {
-                    return Err(format!("cancelled at step {}", run.steps));
-                }
-            }
-            // Without a store there is nothing to roll back to; run the
-            // plain chunk loop, still heartbeating for the watchdog.
-            None => {
-                let mut t = 0u64;
-                let mut since_audit = 0u64;
-                while hit.is_none() && t < CAP {
-                    if ctx.heartbeat.is_cancelled() {
-                        return Err(format!("cancelled at step {t}"));
-                    }
-                    chain.run(&mut config, CHECK_EVERY, &mut rng);
-                    t += CHECK_EVERY;
-                    ctx.heartbeat.beat(t);
-                    if let Some(every) = opts.audit_every {
-                        since_audit += CHECK_EVERY;
-                        if since_audit >= every {
-                            since_audit = 0;
-                            let report = config.audit();
-                            if !report.is_consistent() {
-                                return Err(format!(
-                                    "invariant audit failed at step {t}: {report}"
-                                ));
-                            }
-                        }
-                    }
-                    if let Some(sink) = &mut sink {
-                        if t % METRICS_EVERY == 0 {
-                            sink.record_metrics(t0, &chain.report())
-                                .map_err(|e| e.to_string())?;
-                        }
-                    }
-                    if is_separated(&config, 4.0, 0.2).is_some() {
-                        hit = Some(t);
                     }
                 }
-            }
+                if is_separated(c, 4.0, 0.2).is_some() {
+                    hit = Some(t);
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            },
+        )?;
+        for event in &run.events {
+            eprintln!("swaps={swaps} r{replicate}: {event:?}");
         }
+        if let Some(e) = sink_err {
+            return Err(e.into());
+        }
+        // A cancelled or budget-tripped run is already marked degraded on
+        // `ctx`; report the partial result (no hit yet) below.
     }
 
     if let Some(sink) = &mut sink {
         let report = chain.report();
-        sink.record_metrics(t0, &report)
-            .map_err(|e| e.to_string())?;
-        sink.record_line(&series_record_json(t0, &report))
-            .map_err(|e| e.to_string())?;
+        sink.record_metrics(t0, &report)?;
+        sink.record_line(&series_record_json(t0, &report))?;
+        for line in ctx.event_lines() {
+            sink.record_line(&line)?;
+        }
     }
     Ok(hit)
 }
 
 fn main() {
-    let opts = SweepOptions::from_args();
+    let rt = Runtime::from_args();
     println!(
         "Swap-move ablation: first time a (4, 0.2)-separation certificate\n\
          appears (n = {N}, λ = γ = 4, cap {CAP} steps, {REPLICATES} replicates)\n"
@@ -222,8 +185,8 @@ fn main() {
         }
     }
     let cells: Vec<Cell> = jobs.iter().map(|&(s, r)| Cell(s, r)).collect();
-    let outcomes = run_cells(cells, &opts, |cell, ctx| {
-        time_to_separation(cell.0, cell.1, &opts, ctx).map(|t| (cell.0, cell.1, t))
+    let outcomes = rt.run_cells(cells, |cell, ctx| {
+        time_to_separation(cell.0, cell.1, rt.options(), ctx).map(|t| (cell.0, cell.1, t))
     });
 
     let mut table = Table::new(["swaps", "replicate", "first separation (steps)"]);
@@ -248,12 +211,18 @@ fn main() {
             None => table.row([
                 outcome.cell.clone(),
                 "—".to_string(),
-                format!("FAILED: {}", outcome.error.clone().unwrap_or_default()),
+                format!(
+                    "FAILED: {}",
+                    outcome
+                        .error
+                        .as_ref()
+                        .map_or_else(String::new, ToString::to_string)
+                ),
             ]),
         }
     }
     table.print();
-    write_cell_report("ablate_swaps", &outcomes);
+    write_cell_report(&sops_bench::out_dir(), "ablate_swaps", &outcomes);
     if !with.is_empty() && !without.is_empty() {
         let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
         println!(

@@ -1,18 +1,19 @@
 //! Figure 1: (a) a section of the triangular lattice `G_Δ`; (b) expanded
 //! and contracted particles on it. Regenerated as `results/fig1.svg`.
 //!
-//! Accepts the shared supervision flags (`--checkpoint-dir`, `--resume`,
-//! `--audit-every`, `--retries`, `--no-telemetry`) for uniformity across
-//! the experiment bins; figure generation is fast and stateless, so only
-//! the retry supervision applies here. The cell outcome is recorded in
-//! `results/fig1-cells.json`, and a minimal telemetry stream (manifest +
-//! one render event) lands in `results/logs/fig1-fig1.telemetry.jsonl`.
+//! Accepts the shared runtime flags (`--checkpoint-dir`, `--resume`,
+//! `--audit-every`, `--retries`, `--deadline-ms`, `--no-telemetry`, …) for
+//! uniformity across the experiment bins; figure generation is fast and
+//! stateless, so only the retry/deadline supervision applies here. The
+//! cell outcome is recorded in `results/fig1-cells.json`, and a minimal
+//! telemetry stream (manifest + one render event) lands in
+//! `results/logs/fig1-fig1.telemetry.jsonl`.
 
 use std::fmt::Write as _;
 
-use sops_bench::supervisor::{run_cells, write_cell_report, SweepOptions};
 use sops_chains::RunManifest;
 use sops_lattice::{Node, DIRECTIONS};
+use sops_runtime::{write_cell_report, Runtime};
 
 fn render_fig1() -> String {
     const SCALE: f64 = 36.0;
@@ -132,9 +133,9 @@ fn render_fig1() -> String {
 }
 
 fn main() {
-    let opts = SweepOptions::from_args();
+    let rt = Runtime::from_args();
     println!("Figure 1: lattice section (a) and contracted/expanded particles (b)");
-    let outcomes = run_cells(vec!["fig1"], &opts, |_, _ctx| {
+    let outcomes = rt.run_cells(vec!["fig1"], |_, ctx| {
         let svg = render_fig1();
         sops_bench::save("fig1.svg", &svg);
         // Stateless render: the stream carries a manifest line plus one
@@ -147,17 +148,19 @@ fn main() {
             n: 0,
             steps: 0,
         };
-        if let Some(mut sink) = opts
-            .telemetry_sink("fig1", "fig1", &manifest, None)
-            .map_err(|e| e.to_string())?
+        if let Some(mut sink) =
+            rt.options()
+                .telemetry_sink(&sops_bench::logs_dir(), "fig1", "fig1", &manifest, None)?
         {
             sink.record_line(&format!(
                 "{{\"kind\":\"event\",\"event\":\"rendered\",\"svg_bytes\":{}}}",
                 svg.len()
-            ))
-            .map_err(|e| e.to_string())?;
+            ))?;
+            for line in ctx.event_lines() {
+                sink.record_line(&line)?;
+            }
         }
-        Ok::<_, String>(svg.len())
+        Ok(svg.len())
     });
-    write_cell_report("fig1", &outcomes);
+    write_cell_report(&sops_bench::out_dir(), "fig1", &outcomes);
 }

@@ -9,27 +9,30 @@
 //!    on larger systems — which grows far more slowly than the time to
 //!    reach stationarity-quality samples.
 //!
-//! Part 2 runs up to 5×10⁸ steps per system size, so its hitting loop is
-//! supervised and resumable: `--checkpoint-dir DIR` snapshots each n-cell
+//! Part 2 runs up to 5×10⁸ steps per system size, so its hitting loop runs
+//! under `sops-runtime`: `--checkpoint-dir DIR` snapshots each n-cell
 //! (state + RNG) every check interval, `--resume` picks up a killed sweep
-//! from the newest valid snapshot, and `--audit-every N` re-verifies the
-//! configuration invariants from scratch mid-run. Per-cell outcomes are
-//! recorded in `results/mixing-cells.json`, and each cell streams step
-//! telemetry (outcome counters, acceptance windows, perimeter and
-//! hetero-edge series) to `results/logs/mixing-n-N.telemetry.jsonl`
-//! unless `--no-telemetry` is passed.
+//! from the newest valid snapshot, `--audit-every N` re-verifies the
+//! configuration invariants from scratch mid-run, and the
+//! `--deadline-ms`/`--max-steps` budget flags degrade the sweep gracefully
+//! instead of wedging it. Per-cell outcomes (with typed errors and degrade
+//! reasons) are recorded in `results/mixing-cells.json`, and each cell
+//! streams step telemetry (outcome counters, acceptance windows, perimeter
+//! and hetero-edge series, runtime events) to
+//! `results/logs/mixing-n-N.telemetry.jsonl` unless `--no-telemetry` is
+//! passed.
 
 use std::ops::ControlFlow;
 
 use sops_analysis::is_separated;
-use sops_bench::supervisor::{run_cells, write_cell_report, CellContext, SweepOptions};
 use sops_bench::{instrument_chain, seed_hash_attempt, seeded_attempt, Table};
 use sops_chains::telemetry::series_record_json;
-use sops_chains::{
-    run_supervised, MarkovChain, Recovery, RunManifest, SupervisedOptions, TransitionMatrix,
-};
+use sops_chains::{Recovery, RunManifest, TransitionMatrix};
 use sops_core::enumerate::ExactSeparationChain;
 use sops_core::{construct, Bias, Configuration, SeparationChain};
+use sops_runtime::{
+    run_chain, write_cell_report, ChainJob, JobContext, JobError, Runtime, SweepOptions,
+};
 
 const HIT_CHUNK: u64 = 25_000;
 const HIT_CAP: u64 = 500_000_000;
@@ -38,19 +41,17 @@ const METRICS_EVERY: u64 = 1_000_000;
 fn hitting_cell(
     n: usize,
     opts: &SweepOptions,
-    ctx: &CellContext<'_>,
-) -> Result<Option<u64>, String> {
+    ctx: &JobContext<'_>,
+) -> Result<Option<u64>, JobError> {
     // Attempt 1 reproduces the published seed; a retry draws a fresh
     // stream so a seed-dependent fault is not re-hit verbatim.
     let mut rng = seeded_attempt("mixing-hit", n as u64, ctx.attempt);
     let nodes = construct::hexagonal_spiral(n);
     let mut config = Configuration::new(construct::bicolor_random(nodes, n / 2, &mut rng))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| JobError::app(e.to_string()))?;
     let chain = SeparationChain::new(Bias::new(4.0, 4.0).expect("valid bias"));
 
-    let store = opts
-        .store_for(&format!("n={n}"))
-        .map_err(|e| e.to_string())?;
+    let store = opts.store_for(&format!("n={n}"))?;
 
     // Peek at the newest snapshot before running: snapshots are written at
     // the chunk that hit separation, so a resumed cell whose snapshot is
@@ -62,9 +63,7 @@ fn hitting_cell(
             checkpoint,
             rejected,
             reaped,
-        } = store
-            .recover::<Configuration>()
-            .map_err(|e| e.to_string())?;
+        } = store.recover::<Configuration>()?;
         for path in &rejected {
             eprintln!("n={n}: skipped corrupt snapshot {}", path.display());
         }
@@ -82,8 +81,12 @@ fn hitting_cell(
 
     // Telemetry: the report counts steps taken by *this* process, so the
     // resume offset t0 becomes the base step of every metrics record and
-    // the stream stays contiguous across restarts.
-    let chain = instrument_chain(chain, opts.telemetry);
+    // the stream stays contiguous across restarts. The budget's memory
+    // ceiling sizes the instrument's ring buffers.
+    let mut chain = instrument_chain(chain, opts.telemetry);
+    if let Some(cap) = opts.ring_capacity() {
+        chain = chain.with_ring_capacity(cap);
+    }
     let manifest = RunManifest {
         run: format!("mixing/n={n}"),
         seed: seed_hash_attempt("mixing-hit", n as u64, ctx.attempt),
@@ -92,113 +95,69 @@ fn hitting_cell(
         n: n as u64,
         steps: HIT_CAP,
     };
-    let mut sink = opts
-        .telemetry_sink(
-            "mixing",
-            &format!("n={n}"),
-            &manifest,
-            (t0 > 0).then_some(t0),
-        )
-        .map_err(|e| e.to_string())?;
+    let mut sink = opts.telemetry_sink(
+        &sops_bench::logs_dir(),
+        "mixing",
+        &format!("n={n}"),
+        &manifest,
+        (t0 > 0).then_some(t0),
+    )?;
 
     if hit.is_none() {
-        match &store {
-            // With a checkpoint store, the hitting loop runs under the full
-            // escalation ladder: audit → in-place repair → rollback, plus
-            // heartbeats for the stall watchdog. The separation check rides
-            // the on_chunk hook and breaks the loop on a hit.
-            Some(store) => {
-                let sup = SupervisedOptions {
-                    steps: HIT_CAP,
-                    every: HIT_CHUNK,
-                    max_rollbacks: 3,
-                };
-                let mut sink_err = None;
-                let run = run_supervised(
-                    &chain,
-                    &mut config,
-                    &mut rng,
-                    store,
-                    &sup,
-                    ctx.heartbeat,
-                    |c| c.perimeter() as f64,
-                    |t, c| {
-                        if let Some(sink) = &mut sink {
-                            if (t - t0) % METRICS_EVERY == 0 {
-                                if let Err(e) = sink.record_metrics(t0, &chain.report()) {
-                                    sink_err = Some(e.to_string());
-                                    return ControlFlow::Break(());
-                                }
-                            }
-                        }
-                        if is_separated(c, 4.0, 0.2).is_some() {
-                            hit = Some(t);
+        let job = ChainJob {
+            steps: HIT_CAP,
+            every: HIT_CHUNK,
+            store: store.as_ref(),
+            audit_every: opts.audit_every,
+        };
+        // Sink failures inside the chunk hook can't propagate through the
+        // ControlFlow seam; stash and rethrow after the run.
+        let mut sink_err = None;
+        let run = run_chain(
+            ctx,
+            &chain,
+            &mut config,
+            &mut rng,
+            job,
+            |c| c.perimeter() as f64,
+            |t, c| {
+                if let Some(sink) = &mut sink {
+                    if (t - t0) % METRICS_EVERY == 0 {
+                        if let Err(e) = sink.record_metrics(t0, &chain.report()) {
+                            sink_err = Some(e);
                             return ControlFlow::Break(());
                         }
-                        ControlFlow::Continue(())
-                    },
-                )
-                .map_err(|e| e.to_string())?;
-                ctx.absorb(&run);
-                for event in &run.events {
-                    eprintln!("n={n}: {event:?}");
-                }
-                if let Some(e) = sink_err {
-                    return Err(e);
-                }
-                if !run.completed {
-                    return Err(format!("cancelled at step {}", run.steps));
-                }
-            }
-            // Without a store the ladder has nothing to roll back to; run
-            // the plain chunk loop, still heartbeating for the watchdog.
-            None => {
-                let mut t = 0u64;
-                let mut since_audit = 0u64;
-                while hit.is_none() && t < HIT_CAP {
-                    if ctx.heartbeat.is_cancelled() {
-                        return Err(format!("cancelled at step {t}"));
-                    }
-                    chain.run(&mut config, HIT_CHUNK, &mut rng);
-                    t += HIT_CHUNK;
-                    ctx.heartbeat.beat(t);
-                    if let Some(every) = opts.audit_every {
-                        since_audit += HIT_CHUNK;
-                        if since_audit >= every {
-                            since_audit = 0;
-                            let report = config.audit();
-                            if !report.is_consistent() {
-                                return Err(format!(
-                                    "invariant audit failed at step {t}: {report}"
-                                ));
-                            }
-                        }
-                    }
-                    if let Some(sink) = &mut sink {
-                        if t % METRICS_EVERY == 0 {
-                            sink.record_metrics(t0, &chain.report())
-                                .map_err(|e| e.to_string())?;
-                        }
-                    }
-                    if is_separated(&config, 4.0, 0.2).is_some() {
-                        hit = Some(t);
                     }
                 }
-            }
+                if is_separated(c, 4.0, 0.2).is_some() {
+                    hit = Some(t);
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            },
+        )?;
+        for event in &run.events {
+            eprintln!("n={n}: {event:?}");
         }
+        if let Some(e) = sink_err {
+            return Err(e.into());
+        }
+        // A cancelled or budget-tripped run is already marked degraded on
+        // `ctx`; fall through and report the partial result (no hit yet).
     }
     if let Some(sink) = &mut sink {
         let report = chain.report();
-        sink.record_metrics(t0, &report)
-            .map_err(|e| e.to_string())?;
-        sink.record_line(&series_record_json(t0, &report))
-            .map_err(|e| e.to_string())?;
+        sink.record_metrics(t0, &report)?;
+        sink.record_line(&series_record_json(t0, &report))?;
+        for line in ctx.event_lines() {
+            sink.record_line(&line)?;
+        }
     }
     Ok(hit)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let opts = SweepOptions::from_args();
+    let rt = Runtime::from_args();
     println!("1. Exact mixing times t_mix(1/4) on enumerable spaces:\n");
     let mut t1 = Table::new([
         "n",
@@ -234,8 +193,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n2. Behavior arrives before stationarity: first (4, 0.2)-separation\n   certificate at λ = γ = 4 vs system size:\n");
     let sizes = [40usize, 70, 100, 130];
-    let outcomes = run_cells(sizes.to_vec(), &opts, |&n, ctx| {
-        hitting_cell(n, &opts, ctx).map(|hit| (n, hit))
+    let outcomes = rt.run_cells(sizes.to_vec(), |&n, ctx| {
+        hitting_cell(n, rt.options(), ctx).map(|hit| (n, hit))
     });
     let mut t2 = Table::new(["n", "first separation (steps)", "steps per particle"]);
     for outcome in &outcomes {
@@ -247,13 +206,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ]),
             None => t2.row([
                 outcome.cell.clone(),
-                format!("FAILED: {}", outcome.error.clone().unwrap_or_default()),
+                format!(
+                    "FAILED: {}",
+                    outcome
+                        .error
+                        .as_ref()
+                        .map_or_else(String::new, ToString::to_string)
+                ),
                 "—".to_string(),
             ]),
         }
     }
     t2.print();
-    write_cell_report("mixing", &outcomes);
+    write_cell_report(&sops_bench::out_dir(), "mixing", &outcomes);
     println!(
         "\nexpected shape: hitting times grow polynomially and gently in n —\n\
          the behavioral guarantee arrives \"fairly quickly\" (§5) even though\n\

@@ -5,24 +5,29 @@
 //! the transition actually falls (the paper notes its bounds are not
 //! tight: simulations separate already at γ = 4).
 //!
-//! Supervision flags (see `sops_bench::supervisor`): `--checkpoint-dir
+//! Runtime flags (see `sops_runtime::SweepOptions`): `--checkpoint-dir
 //! DIR` snapshots each γ-cell's burn-in every `--audit-every` steps (with
 //! a from-scratch invariant audit before each snapshot), `--resume`
 //! continues an interrupted sweep from those snapshots, `--retries K`
-//! bounds retry attempts per cell. Per-cell outcomes are recorded in
+//! bounds retry attempts per cell, and the `--deadline-ms`/`--max-steps`
+//! budget flags end the sweep as a classified degradation with partial
+//! averages instead of wedging it. Per-cell outcomes are recorded in
 //! `results/separation-cells.json`, and each γ-cell streams step telemetry
-//! (outcome counters, acceptance windows, observable series) to
-//! `results/logs/separation-gamma-G.telemetry.jsonl` unless
+//! (outcome counters, acceptance windows, observable series, runtime
+//! events) to `results/logs/separation-gamma-G.telemetry.jsonl` unless
 //! `--no-telemetry` is passed.
 
 use std::ops::ControlFlow;
 
 use sops_analysis::{is_separated, metrics};
-use sops_bench::supervisor::{run_cells, write_cell_report, CellContext, SweepOptions};
 use sops_bench::{instrument_chain, seed_hash_attempt, seeded_attempt, Table};
 use sops_chains::telemetry::series_record_json;
-use sops_chains::{run_supervised, MarkovChain, RunManifest, SupervisedOptions};
+use sops_chains::{Auditable as _, MarkovChain, RunManifest};
 use sops_core::{construct, Bias, Configuration, SeparationChain};
+use sops_runtime::{
+    run_chain, write_cell_report, ChainJob, DegradeReason, JobContext, JobError, Runtime,
+    SweepOptions,
+};
 
 const N: usize = 100;
 const LAMBDA: f64 = 4.0;
@@ -33,8 +38,8 @@ const SAMPLE_GAP: u64 = 100_000;
 fn sweep_cell(
     gamma: f64,
     opts: &SweepOptions,
-    ctx: &CellContext<'_>,
-) -> Result<(f64, f64), String> {
+    ctx: &JobContext<'_>,
+) -> Result<(f64, f64), JobError> {
     // Attempt 1 reproduces the published seed; a retry draws a fresh
     // stream so a seed-dependent fault is not re-hit verbatim.
     let mut rng = seeded_attempt("separation", gamma.to_bits(), ctx.attempt);
@@ -42,70 +47,50 @@ fn sweep_cell(
     let mut config =
         Configuration::new(construct::bicolor_random(nodes, N / 2, &mut rng)).expect("valid seed");
     let chain = SeparationChain::new(Bias::new(LAMBDA, gamma).expect("valid bias"));
-    let chain = instrument_chain(chain, opts.telemetry);
+    let mut chain = instrument_chain(chain, opts.telemetry);
+    if let Some(cap) = opts.ring_capacity() {
+        chain = chain.with_ring_capacity(cap);
+    }
 
     // Burn-in. With a checkpoint store the run goes through the full
     // escalation ladder (audit → in-place repair → rollback) and reports
-    // any recovery rungs taken back to the sweep supervisor; without one
-    // it is a plain chunked loop that still heartbeats for the watchdog.
-    let store = opts
-        .store_for(&format!("gamma={gamma:.4}"))
-        .map_err(|e| e.to_string())?;
-    let mut resumed_at = None;
-    match &store {
-        Some(store) => {
-            let sup = SupervisedOptions {
-                steps: BURN_IN,
-                every: opts.audit_every.unwrap_or(1_000_000),
-                max_rollbacks: 3,
-            };
-            let run = run_supervised(
-                &chain,
-                &mut config,
-                &mut rng,
-                store,
-                &sup,
-                ctx.heartbeat,
-                metrics::hetero_fraction,
-                |_, _| ControlFlow::Continue(()),
-            )
-            .map_err(|e| e.to_string())?;
-            ctx.absorb(&run);
-            resumed_at = run.resumed_from;
-            if let Some(step) = run.resumed_from {
-                eprintln!("gamma={gamma:.4}: resumed burn-in from step {step}");
-            }
-            for path in &run.rejected {
-                eprintln!(
-                    "gamma={gamma:.4}: skipped corrupt snapshot {}",
-                    path.display()
-                );
-            }
-            for path in &run.reaped {
-                eprintln!(
-                    "gamma={gamma:.4}: reaped orphaned temp file {}",
-                    path.display()
-                );
-            }
-            for event in &run.events {
-                eprintln!("gamma={gamma:.4}: {event:?}");
-            }
-            if !run.completed {
-                return Err(format!("cancelled at step {}", run.steps));
-            }
-        }
-        None => {
-            let mut t = 0u64;
-            while t < BURN_IN {
-                if ctx.heartbeat.is_cancelled() {
-                    return Err(format!("cancelled at step {t}"));
-                }
-                let burst = 1_000_000.min(BURN_IN - t);
-                chain.run(&mut config, burst, &mut rng);
-                t += burst;
-                ctx.heartbeat.beat(t);
-            }
-        }
+    // any recovery rungs taken back to the runtime; without one it is a
+    // plain chunked loop that still heartbeats, audits, and honors the
+    // budget.
+    let store = opts.store_for(&format!("gamma={gamma:.4}"))?;
+    let job = ChainJob {
+        steps: BURN_IN,
+        every: opts.audit_every.unwrap_or(1_000_000),
+        store: store.as_ref(),
+        audit_every: opts.audit_every,
+    };
+    let run = run_chain(
+        ctx,
+        &chain,
+        &mut config,
+        &mut rng,
+        job,
+        metrics::hetero_fraction,
+        |_, _| ControlFlow::Continue(()),
+    )?;
+    let resumed_at = run.resumed_from;
+    if let Some(step) = run.resumed_from {
+        eprintln!("gamma={gamma:.4}: resumed burn-in from step {step}");
+    }
+    for path in &run.rejected {
+        eprintln!(
+            "gamma={gamma:.4}: skipped corrupt snapshot {}",
+            path.display()
+        );
+    }
+    for path in &run.reaped {
+        eprintln!(
+            "gamma={gamma:.4}: reaped orphaned temp file {}",
+            path.display()
+        );
+    }
+    for event in &run.events {
+        eprintln!("gamma={gamma:.4}: {event:?}");
     }
 
     // Telemetry counts only this process's steps; a resumed burn-in
@@ -120,50 +105,71 @@ fn sweep_cell(
         n: N as u64,
         steps: BURN_IN + SAMPLES as u64 * SAMPLE_GAP,
     };
-    let mut sink = opts
-        .telemetry_sink("separation", &cell, &manifest, resumed_at)
-        .map_err(|e| e.to_string())?;
+    let mut sink = opts.telemetry_sink(
+        &sops_bench::logs_dir(),
+        "separation",
+        &cell,
+        &manifest,
+        resumed_at,
+    )?;
     if let Some(sink) = &mut sink {
         // Burn-in metrics before sampling starts.
-        sink.record_metrics(t0, &chain.report())
-            .map_err(|e| e.to_string())?;
+        sink.record_metrics(t0, &chain.report())?;
     }
 
+    // An incomplete burn-in (budget trip or cancellation) is already
+    // marked degraded on `ctx`; skip sampling and report what exists.
     let mut separated = 0usize;
     let mut hetero = 0.0;
+    let mut taken = 0usize;
     let mut since_audit = 0u64;
-    for sample in 0..SAMPLES {
-        if ctx.heartbeat.is_cancelled() {
-            return Err(format!("cancelled at sample {sample}"));
-        }
-        chain.run(&mut config, SAMPLE_GAP, &mut rng);
-        ctx.heartbeat
-            .beat(BURN_IN + (sample as u64 + 1) * SAMPLE_GAP);
-        if let Some(every) = opts.audit_every {
-            since_audit += SAMPLE_GAP;
-            if since_audit >= every {
-                since_audit = 0;
-                let report = config.audit();
-                if !report.is_consistent() {
-                    return Err(format!("invariant audit failed: {report}"));
+    if run.completed && ctx.degraded().is_none() {
+        for sample in 0..SAMPLES {
+            if ctx.heartbeat.is_cancelled() {
+                ctx.note_degraded(ctx.cancel_reason(), run.last_durable_step);
+                break;
+            }
+            if ctx.deadline_exceeded() {
+                ctx.note_degraded(DegradeReason::DeadlineExceeded, run.last_durable_step);
+                break;
+            }
+            chain.run(&mut config, SAMPLE_GAP, &mut rng);
+            ctx.heartbeat
+                .beat(BURN_IN + (sample as u64 + 1) * SAMPLE_GAP);
+            if let Some(every) = opts.audit_every {
+                since_audit += SAMPLE_GAP;
+                if since_audit >= every {
+                    since_audit = 0;
+                    let violations = config.audit_violations();
+                    if !violations.is_empty() {
+                        return Err(JobError::AuditFailed {
+                            step: BURN_IN + (sample as u64 + 1) * SAMPLE_GAP,
+                            violations,
+                        });
+                    }
                 }
             }
+            separated += usize::from(is_separated(&config, 4.0, 0.2).is_some());
+            hetero += metrics::hetero_fraction(&config);
+            taken += 1;
         }
-        separated += usize::from(is_separated(&config, 4.0, 0.2).is_some());
-        hetero += metrics::hetero_fraction(&config);
     }
     if let Some(sink) = &mut sink {
         let report = chain.report();
-        sink.record_metrics(t0, &report)
-            .map_err(|e| e.to_string())?;
-        sink.record_line(&series_record_json(t0, &report))
-            .map_err(|e| e.to_string())?;
+        sink.record_metrics(t0, &report)?;
+        sink.record_line(&series_record_json(t0, &report))?;
+        for line in ctx.event_lines() {
+            sink.record_line(&line)?;
+        }
     }
-    Ok((separated as f64 / SAMPLES as f64, hetero / SAMPLES as f64))
+    // Partial averages over the samples actually taken: a degraded cell
+    // still reports a value, classified degraded in the cells report.
+    let denom = taken.max(1) as f64;
+    Ok((separated as f64 / denom, hetero / denom))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let opts = SweepOptions::from_args();
+    let rt = Runtime::from_args();
     let gammas: Vec<f64> = vec![
         0.8,
         79.0 / 81.0,
@@ -177,8 +183,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         8.0,
     ];
 
-    let outcomes = run_cells(gammas.clone(), &opts, |&gamma, ctx| {
-        sweep_cell(gamma, &opts, ctx)
+    let outcomes = rt.run_cells(gammas.clone(), |&gamma, ctx| {
+        sweep_cell(gamma, rt.options(), ctx)
     });
 
     println!(
@@ -210,12 +216,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{gamma:.4}"),
                 "FAILED".to_string(),
                 "—".to_string(),
-                outcome.error.clone().unwrap_or_default(),
+                outcome
+                    .error
+                    .as_ref()
+                    .map_or_else(String::new, ToString::to_string),
             ]),
         }
     }
     table.print();
-    write_cell_report("separation", &outcomes);
+    write_cell_report(&sops_bench::out_dir(), "separation", &outcomes);
     println!(
         "\nexpected shape: frequency ≈ 0 through the integration window\n\
          (including γ = 81/79 > 1), rising to ≈ 1 well before the proven\n\

@@ -2,7 +2,7 @@
 //! state is corrupted mid-run must *complete* — healed by in-place repair
 //! or rollback and reported `recovered` — rather than fail, and a hung
 //! cell must be cancelled by the stall watchdog and reported `degraded`
-//! instead of wedging the sweep.
+//! (with `DegradeReason::Stalled`) instead of wedging the sweep.
 
 use std::ops::ControlFlow;
 use std::path::PathBuf;
@@ -10,11 +10,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use sops_bench::seeded_attempt;
-use sops_bench::supervisor::{
-    run_cells, write_cell_report, BackoffPolicy, CellStatus, StallPolicy, SweepOptions,
-};
 use sops_chains::{run_supervised, RecoveryEvent, SupervisedOptions};
 use sops_core::{construct, Bias, SeparationChain};
+use sops_runtime::{
+    run_cells, write_cell_report, BackoffPolicy, CellStatus, DegradeReason, JobContext, JobError,
+    ResourceBudget, StallPolicy, SweepOptions,
+};
 
 /// A fresh scratch directory per test, removed on drop.
 struct Scratch(PathBuf);
@@ -43,11 +44,14 @@ impl Drop for Scratch {
 fn test_opts(scratch: &Scratch) -> SweepOptions {
     SweepOptions {
         checkpoint_dir: Some(scratch.0.clone()),
-        retries: 0,
         telemetry: false,
         backoff: BackoffPolicy {
             base_ms: 0,
             cap_ms: 0,
+        },
+        budget: ResourceBudget {
+            max_retries: 0,
+            ..ResourceBudget::default()
         },
         ..SweepOptions::default()
     }
@@ -62,15 +66,15 @@ const EVERY: u64 = 5_000;
 fn chain_cell(
     cell: &str,
     opts: &SweepOptions,
-    ctx: &sops_bench::supervisor::CellContext<'_>,
+    ctx: &JobContext<'_>,
     poison_at: Option<u64>,
-) -> Result<(u64, Vec<RecoveryEvent>), String> {
+) -> Result<(u64, Vec<RecoveryEvent>), JobError> {
     let mut rng = seeded_attempt(cell, 0, ctx.attempt);
-    let mut config = construct::hexagonal_bicolored(20, 10).map_err(|e| e.to_string())?;
+    let mut config =
+        construct::hexagonal_bicolored(20, 10).map_err(|e| JobError::app(e.to_string()))?;
     let chain = SeparationChain::new(Bias::new(4.0, 4.0).expect("valid bias"));
     let store = opts
-        .store_for(cell)
-        .map_err(|e| e.to_string())?
+        .store_for(cell)?
         .expect("test opts always set a checkpoint dir");
     let sup = SupervisedOptions {
         steps: STEPS,
@@ -92,12 +96,8 @@ fn chain_cell(
             }
             ControlFlow::Continue(())
         },
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
     ctx.absorb(&run);
-    if !run.completed {
-        return Err(format!("cancelled at step {}", run.steps));
-    }
     Ok((run.steps, run.events))
 }
 
@@ -131,10 +131,13 @@ fn corrupted_cell_completes_as_recovered_not_failed() {
         "{events:?}"
     );
 
-    // And the report records the healed cell as recovered, not failed.
-    let json = write_cell_report("escalation-test", &outcomes);
+    // And the report records the healed cell as recovered, not failed —
+    // including the typed `repaired` runtime event absorbed from the
+    // ladder.
+    let json = write_cell_report(&sops_bench::out_dir(), "escalation-test", &outcomes);
     assert!(json.contains("\"cells_failed\": 0"), "{json}");
     assert!(json.contains("\"cells_recovered\": 1"), "{json}");
+    assert!(json.contains("\"event\": \"repaired\""), "{json}");
     let _ = std::fs::remove_file(sops_bench::out_dir().join("escalation-test-cells.json"));
 }
 
@@ -144,9 +147,10 @@ fn repeated_corruption_is_healed_every_chunk() {
     let opts = test_opts(&scratch);
     let outcomes = run_cells(vec!["relapsing"], &opts, |label, ctx| {
         let mut rng = seeded_attempt(label, 1, ctx.attempt);
-        let mut config = construct::hexagonal_bicolored(20, 10).map_err(|e| e.to_string())?;
+        let mut config =
+            construct::hexagonal_bicolored(20, 10).map_err(|e| JobError::app(e.to_string()))?;
         let chain = SeparationChain::new(Bias::new(4.0, 4.0).expect("valid bias"));
-        let store = opts.store_for(label).map_err(|e| e.to_string())?.unwrap();
+        let store = opts.store_for(label)?.unwrap();
         let sup = SupervisedOptions {
             steps: STEPS,
             every: EVERY,
@@ -165,10 +169,9 @@ fn repeated_corruption_is_healed_every_chunk() {
                 c.inject_counter_fault(e + 1, h + 1);
                 ControlFlow::Continue(())
             },
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
         ctx.absorb(&run);
-        Ok::<_, String>(run.events.len())
+        Ok::<_, JobError>(run.events.len())
     });
     assert_eq!(outcomes[0].status, CellStatus::Recovered);
     // Repairs are unbounded (unlike rollbacks): one per corrupted chunk.
@@ -193,7 +196,10 @@ fn hung_cell_is_cancelled_and_reported_degraded() {
         // run_supervised does at chunk boundaries.
         loop {
             if ctx.heartbeat.is_cancelled() {
-                return Err("cancelled by watchdog".to_string());
+                return Err(JobError::Cancelled {
+                    reason: ctx.cancel_reason(),
+                    step: ctx.heartbeat.steps(),
+                });
             }
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -201,10 +207,21 @@ fn hung_cell_is_cancelled_and_reported_degraded() {
     let by_cell = |name: &str| outcomes.iter().find(|o| o.cell == name).unwrap();
     assert_eq!(by_cell("healthy").status, CellStatus::Ok);
     let hung = by_cell("hung");
-    assert_eq!(hung.status, CellStatus::Degraded, "{hung:?}");
+    assert!(
+        matches!(
+            hung.status,
+            CellStatus::Degraded {
+                reason: DegradeReason::Stalled,
+                ..
+            }
+        ),
+        "{hung:?}"
+    );
     assert!(hung.result.is_none());
-    let json = write_cell_report("escalation-stall-test", &outcomes);
+    assert_eq!(hung.attempts, 1, "a stalled cell must not be retried");
+    let json = write_cell_report(&sops_bench::out_dir(), "escalation-stall-test", &outcomes);
     assert!(json.contains("\"cells_degraded\": 1"), "{json}");
     assert!(json.contains("\"status\": \"degraded\""), "{json}");
+    assert!(json.contains("\"degrade_reason\": \"stalled\""), "{json}");
     let _ = std::fs::remove_file(sops_bench::out_dir().join("escalation-stall-test-cells.json"));
 }

@@ -73,6 +73,11 @@ pub enum CheckpointError {
         /// Human-readable invariant violations.
         violations: Vec<String>,
     },
+    /// The store's [`crate::CancelToken`] fired at an operation boundary
+    /// and the operation was abandoned cleanly: nothing durable was
+    /// changed (an in-progress save leaves at most a tmp orphan, which
+    /// the next recovery reaps).
+    Cancelled,
 }
 
 impl fmt::Display for CheckpointError {
@@ -88,6 +93,9 @@ impl fmt::Display for CheckpointError {
                     "invariant audit failed at step {step}: {}",
                     violations.join("; ")
                 )
+            }
+            CheckpointError::Cancelled => {
+                write!(f, "checkpoint operation cancelled at an I/O boundary")
             }
         }
     }
@@ -355,6 +363,7 @@ pub struct CheckpointStore {
     dir: PathBuf,
     retain: usize,
     vfs: Arc<dyn Vfs>,
+    cancel: Option<crate::CancelToken>,
 }
 
 impl fmt::Debug for CheckpointStore {
@@ -411,6 +420,7 @@ impl CheckpointStore {
             dir,
             retain: retain.max(1),
             vfs,
+            cancel: None,
         };
         // A crash between temp-create and rename leaves orphans; clear
         // them on open so they cannot accumulate across restarts.
@@ -418,10 +428,36 @@ impl CheckpointStore {
         Ok(store)
     }
 
+    /// Attaches a cooperative-cancellation token, checked at operation
+    /// boundaries inside [`CheckpointStore::save_parts`] and
+    /// [`CheckpointStore::recover`]. A cancelled store fails those calls
+    /// with [`CheckpointError::Cancelled`] *without* touching durable
+    /// state: checks sit before the first write and before the atomic
+    /// rename, never between rename and directory sync, so a snapshot is
+    /// either fully durable or not present at all.
+    #[must_use]
+    pub fn with_cancel(mut self, token: crate::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    fn check_cancel(&self) -> Result<(), CheckpointError> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(CheckpointError::Cancelled),
+            _ => Ok(()),
+        }
+    }
+
     /// The directory this store persists into.
     #[must_use]
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// How many snapshots this store retains before pruning the oldest.
+    #[must_use]
+    pub fn retain(&self) -> usize {
+        self.retain
     }
 
     /// Snapshot paths in ascending step order (filenames embed the step
@@ -513,6 +549,7 @@ impl CheckpointStore {
         log: &[(u64, f64)],
         state: &S,
     ) -> Result<PathBuf, CheckpointError> {
+        self.check_cancel()?;
         let final_path = self.dir.join(format!("step-{step:020}.ckpt"));
         let tmp_path = self.dir.join(format!("step-{step:020}.ckpt.tmp"));
         self.vfs.create(&tmp_path)?;
@@ -521,6 +558,10 @@ impl CheckpointStore {
             render_text(step, accepted, rng_state, log, state).as_bytes(),
         )?;
         self.vfs.sync(&tmp_path)?;
+        // Last safe point to abandon the save: past the rename the
+        // snapshot must be made durable (sync_dir) unconditionally, or a
+        // cancel could strand a visible-but-volatile directory entry.
+        self.check_cancel()?;
         self.vfs.rename(&tmp_path, &final_path)?;
         // The rename only becomes durable once the directory entry is
         // flushed; without this a crash can silently drop a snapshot the
@@ -579,6 +620,7 @@ impl CheckpointStore {
     ///
     /// Returns an error only for directory-level I/O failures.
     pub fn recover<S: StateCodec>(&self) -> Result<Recovery<S>, CheckpointError> {
+        self.check_cancel()?;
         let reaped = self.reap_tmp()?;
         let mut rejected = Vec::new();
         for path in self.list()?.into_iter().rev() {

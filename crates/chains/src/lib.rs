@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 mod chain;
 pub mod checkpoint;
 mod exact;
@@ -65,6 +66,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod vfs;
 
+pub use cancel::CancelToken;
 pub use chain::{MarkovChain, Trajectory};
 pub use checkpoint::{
     Auditable, Checkpoint, CheckpointError, CheckpointStore, CheckpointedRun,
@@ -72,7 +74,8 @@ pub use checkpoint::{
 };
 pub use exact::{EnumerableChain, TransitionMatrix};
 pub use recovery::{
-    run_supervised, Heartbeat, RecoveryEvent, Repairable, SupervisedOptions, SupervisedRun,
+    run_supervised, CancelKind, Heartbeat, RecoveryEvent, Repairable, SupervisedOptions,
+    SupervisedRun,
 };
 pub use telemetry::{
     ClassifiedChain, Instrumented, JsonlSink, OutcomeClass, RingBuffer, RunManifest,

@@ -28,10 +28,11 @@
 
 use std::ops::ControlFlow;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
 
+use crate::cancel::CancelToken;
 use crate::chain::MarkovChain;
 use crate::checkpoint::{
     Auditable, CheckpointError, CheckpointStore, Recovery, SnapshotRng, StateCodec,
@@ -58,28 +59,92 @@ pub trait Repairable {
     fn repair_state(&mut self) -> Result<Vec<String>, Vec<String>>;
 }
 
+/// Why a heartbeat reports itself cancelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelKind {
+    /// The caller cancelled via the heartbeat's [`CancelToken`].
+    External,
+    /// A stall watchdog marked the cell frozen and the mark is still
+    /// valid (no progress since it was placed).
+    Stalled,
+}
+
+/// Sentinel for "no stall mark pending".
+const NO_STALL: u64 = u64::MAX;
+
 /// A shared step-counter heartbeat with cooperative cancellation.
 ///
 /// The supervised runner bumps the counter at every chunk boundary; a
 /// watchdog that sees the counter frozen across consecutive polls can
-/// [`Heartbeat::cancel`] the cell, and the runner exits cleanly at its
-/// next boundary. All methods take `&self`; share via `Arc`.
-#[derive(Debug, Default)]
+/// place a *conditional* stall mark via [`Heartbeat::cancel_if_stalled_at`],
+/// and the runner exits cleanly at its next boundary. All methods take
+/// `&self`; share via `Arc`.
+///
+/// # The poll/cancel race
+///
+/// A naive watchdog (poll the counter, decide, then set an unconditional
+/// cancelled flag) has a window in which the cell advances *between* the
+/// poll and the cancel decision and is killed anyway. Stall cancellation
+/// here is therefore validity-at-read-time: the watchdog records the step
+/// count it judged frozen, and the mark only counts as a cancellation
+/// while the counter still equals that step. Any [`Heartbeat::beat`] past
+/// the marked step revokes the mark — a cell that made progress is never
+/// killed for stalling. External cancellation via the [`CancelToken`] is
+/// unconditional and unaffected by beats.
+#[derive(Debug)]
 pub struct Heartbeat {
     steps: AtomicU64,
-    cancelled: AtomicBool,
+    /// Pending stall mark: the step count the watchdog judged frozen, or
+    /// [`NO_STALL`]. Initialized to `NO_STALL` by [`Heartbeat::new`].
+    stall_step: AtomicU64,
+    token: CancelToken,
+}
+
+impl Default for Heartbeat {
+    fn default() -> Self {
+        Heartbeat::new()
+    }
 }
 
 impl Heartbeat {
     /// A fresh heartbeat at step 0, not cancelled.
     #[must_use]
     pub fn new() -> Self {
-        Heartbeat::default()
+        Self::with_token(CancelToken::new())
+    }
+
+    /// A fresh heartbeat whose external-cancellation flag is the given
+    /// token — lets one token fan out to many cells.
+    #[must_use]
+    pub fn with_token(token: CancelToken) -> Self {
+        Heartbeat {
+            steps: AtomicU64::new(0),
+            stall_step: AtomicU64::new(NO_STALL),
+            token,
+        }
+    }
+
+    /// A clone of the external-cancellation token for this heartbeat.
+    #[must_use]
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
     }
 
     /// Records progress: the run has completed `steps` total steps.
+    ///
+    /// Progress past a pending stall mark revokes it (see the type-level
+    /// docs on the poll/cancel race).
     pub fn beat(&self, steps: u64) {
         self.steps.store(steps, Ordering::Relaxed);
+        let pending = self.stall_step.load(Ordering::Relaxed);
+        if pending != NO_STALL && pending != steps {
+            let _ = self.stall_step.compare_exchange(
+                pending,
+                NO_STALL,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
     }
 
     /// The last step count reported by [`Heartbeat::beat`].
@@ -88,16 +153,53 @@ impl Heartbeat {
         self.steps.load(Ordering::Relaxed)
     }
 
-    /// Requests cooperative cancellation; the runner returns with
-    /// `completed: false` at its next chunk boundary.
+    /// Requests unconditional cooperative cancellation; the runner returns
+    /// with `completed: false` at its next chunk boundary.
     pub fn cancel(&self) {
-        self.cancelled.store(true, Ordering::Relaxed);
+        self.token.cancel();
     }
 
-    /// Whether cancellation has been requested.
+    /// Places a stall mark at `expected`, but only if the counter still
+    /// reads `expected`. Returns whether the mark stuck: `false` means the
+    /// cell advanced between the watchdog's poll and this call, so the
+    /// stall verdict was stale and has been withdrawn.
+    pub fn cancel_if_stalled_at(&self, expected: u64) -> bool {
+        if self.steps.load(Ordering::Relaxed) != expected {
+            return false;
+        }
+        self.stall_step.store(expected, Ordering::Relaxed);
+        if self.steps.load(Ordering::Relaxed) != expected {
+            // The cell beat between the check and the mark; withdraw.
+            let _ = self.stall_step.compare_exchange(
+                expected,
+                NO_STALL,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            return false;
+        }
+        true
+    }
+
+    /// Whether cancellation is in effect *right now*: the external token
+    /// fired, or a stall mark is pending and the counter has not advanced
+    /// past it.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::Relaxed)
+        self.cancel_kind().is_some()
+    }
+
+    /// Why the heartbeat is cancelled, or `None` when it is not.
+    #[must_use]
+    pub fn cancel_kind(&self) -> Option<CancelKind> {
+        if self.token.is_cancelled() {
+            return Some(CancelKind::External);
+        }
+        let pending = self.stall_step.load(Ordering::Relaxed);
+        if pending != NO_STALL && pending == self.steps.load(Ordering::Relaxed) {
+            return Some(CancelKind::Stalled);
+        }
+        None
     }
 }
 
@@ -162,6 +264,11 @@ pub struct SupervisedRun {
     pub events: Vec<RecoveryEvent>,
     /// `false` when the run was cancelled before finishing.
     pub completed: bool,
+    /// Step count of the newest snapshot known durable when the run
+    /// returned: the resume point (or the last write) — `None` when
+    /// nothing was ever persisted. A cancelled or degraded run can hand
+    /// this to its caller as the guaranteed-recoverable position.
+    pub last_durable_step: Option<u64>,
 }
 
 impl SupervisedRun {
@@ -225,7 +332,26 @@ where
         checkpoint,
         rejected,
         reaped,
-    } = store.recover::<C::State>()?;
+    } = match store.recover::<C::State>() {
+        Ok(rec) => rec,
+        // The store's cancel token fired before the run even started:
+        // nothing was touched, report a clean zero-step cancellation.
+        Err(CheckpointError::Cancelled) => {
+            return Ok(SupervisedRun {
+                steps: 0,
+                accepted: 0,
+                log: Vec::new(),
+                resumed_from: None,
+                rejected: Vec::new(),
+                reaped: Vec::new(),
+                snapshots_written: 0,
+                events: vec![RecoveryEvent::Cancelled { step: 0 }],
+                completed: false,
+                last_durable_step: None,
+            });
+        }
+        Err(e) => return Err(e),
+    };
 
     let mut t;
     let mut accepted;
@@ -263,6 +389,7 @@ where
     let mut events = Vec::new();
     let mut rollbacks = 0u32;
     let mut snapshots_written = 0;
+    let mut last_durable_step = resumed_from;
 
     while t < opts.steps {
         if heartbeat.is_cancelled() {
@@ -277,6 +404,7 @@ where
                 snapshots_written,
                 events,
                 completed: false,
+                last_durable_step,
             });
         }
 
@@ -307,7 +435,25 @@ where
                 // violating state is never persisted, so anything on disk
                 // is trustworthy. Fall back to the entry-point snapshot
                 // when nothing has been written yet.
-                let rec = store.recover::<C::State>()?;
+                let rec = match store.recover::<C::State>() {
+                    Ok(rec) => rec,
+                    Err(CheckpointError::Cancelled) => {
+                        events.push(RecoveryEvent::Cancelled { step: t });
+                        return Ok(SupervisedRun {
+                            steps: t,
+                            accepted,
+                            log,
+                            resumed_from,
+                            rejected,
+                            reaped,
+                            snapshots_written,
+                            events,
+                            completed: false,
+                            last_durable_step,
+                        });
+                    }
+                    Err(e) => return Err(e),
+                };
                 let to_step = match rec.checkpoint {
                     Some(ckpt) => {
                         let to = ckpt.step;
@@ -320,6 +466,7 @@ where
                         })?;
                         accepted = ckpt.accepted;
                         log = ckpt.log;
+                        last_durable_step = Some(to);
                         to
                     }
                     None => {
@@ -352,8 +499,32 @@ where
         }
 
         log.push((t, observe(state)));
-        store.save_parts(t, accepted, &rng.rng_state(), &log, state)?;
-        snapshots_written += 1;
+        match store.save_parts(t, accepted, &rng.rng_state(), &log, state) {
+            Ok(_) => {
+                snapshots_written += 1;
+                last_durable_step = Some(t);
+            }
+            // Cancellation observed inside checkpoint I/O: the save was
+            // abandoned before the atomic rename (at worst a tmp orphan
+            // remains, reaped on the next recovery), so the previous
+            // durable snapshot still stands. Exit cleanly.
+            Err(CheckpointError::Cancelled) => {
+                events.push(RecoveryEvent::Cancelled { step: t });
+                return Ok(SupervisedRun {
+                    steps: t,
+                    accepted,
+                    log,
+                    resumed_from,
+                    rejected,
+                    reaped,
+                    snapshots_written,
+                    events,
+                    completed: false,
+                    last_durable_step,
+                });
+            }
+            Err(e) => return Err(e),
+        }
 
         if flow.is_break() {
             break;
@@ -370,6 +541,7 @@ where
         snapshots_written,
         events,
         completed: true,
+        last_durable_step,
     })
 }
 
@@ -711,6 +883,80 @@ mod tests {
             run.events
         );
         assert_eq!(heartbeat.steps(), 2_000);
+        // The chunk that observed the cancel was still persisted (cancel
+        // is only checked at the loop top), so resume starts from here.
+        assert_eq!(run.last_durable_step, Some(2_000));
+    }
+
+    #[test]
+    fn stall_mark_is_revoked_by_progress() {
+        let hb = Heartbeat::new();
+        hb.beat(100);
+        assert!(hb.cancel_if_stalled_at(100));
+        assert_eq!(hb.cancel_kind(), Some(CancelKind::Stalled));
+        // Progress past the marked step revokes the stall verdict.
+        hb.beat(200);
+        assert_eq!(hb.cancel_kind(), None);
+        // A verdict formed against an already-stale counter never sticks.
+        assert!(!hb.cancel_if_stalled_at(100));
+        assert!(!hb.is_cancelled());
+    }
+
+    #[test]
+    fn external_cancel_survives_beats() {
+        let hb = Heartbeat::new();
+        hb.token().cancel();
+        hb.beat(500);
+        assert_eq!(hb.cancel_kind(), Some(CancelKind::External));
+        assert!(hb.is_cancelled());
+    }
+
+    #[test]
+    fn store_cancellation_inside_checkpoint_io_exits_cleanly() {
+        let scratch = Scratch::new("store-cancel");
+        let token = CancelToken::new();
+        let store = CheckpointStore::open(&scratch.0, 2)
+            .unwrap()
+            .with_cancel(token.clone());
+        let mut state = Cached::new(0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let run = run_supervised(
+            &CachedWalk(97),
+            &mut state,
+            &mut rng,
+            &store,
+            &OPTS,
+            &Heartbeat::new(),
+            |s| s.x as f64,
+            |t, _| {
+                // Cancel only the *store's* token: the heartbeat stays
+                // live, so the exit must come from the checkpoint-I/O
+                // cancel check, not the chunk-boundary one.
+                if t == 2_000 {
+                    token.cancel();
+                }
+                ControlFlow::Continue(())
+            },
+        )
+        .unwrap();
+        assert!(!run.completed);
+        assert_eq!(run.steps, 2_000);
+        assert!(
+            matches!(
+                run.events.as_slice(),
+                [RecoveryEvent::Cancelled { step: 2_000 }]
+            ),
+            "{:?}",
+            run.events
+        );
+        // The step-2000 save was abandoned before anything durable, so
+        // the last durable snapshot is the previous chunk's.
+        assert_eq!(run.last_durable_step, Some(1_000));
+        let rec = CheckpointStore::open(&scratch.0, 2)
+            .unwrap()
+            .recover::<Cached>()
+            .unwrap();
+        assert_eq!(rec.checkpoint.unwrap().step, 1_000);
     }
 
     #[test]
@@ -738,6 +984,7 @@ mod tests {
         .unwrap();
         assert!(run.completed);
         assert_eq!(run.steps, 3_000);
+        assert_eq!(run.last_durable_step, Some(3_000));
         // The stopping state was checkpointed, so a later invocation
         // resumes from exactly here.
         let rec = store.recover::<Cached>().unwrap();

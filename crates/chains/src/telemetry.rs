@@ -212,6 +212,7 @@ struct Accumulator<S> {
     window_rates: RingBuffer<(u64, f64)>,
     started: Option<Instant>,
     observers: Vec<Observer<S>>,
+    ring_capacity: usize,
 }
 
 impl<S> Accumulator<S> {
@@ -226,6 +227,7 @@ impl<S> Accumulator<S> {
             window_rates: RingBuffer::new(DEFAULT_RING_CAPACITY),
             started: None,
             observers: Vec::new(),
+            ring_capacity: DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -329,6 +331,26 @@ impl<C: ClassifiedChain> Instrumented<C> {
         self
     }
 
+    /// Bounds every retention ring (windowed acceptance rates and all
+    /// observables registered so far or later) to `cap` entries — the
+    /// memory-ceiling knob: telemetry retention is the only unbounded-ish
+    /// buffer in a long run, so capping the rings caps the footprint.
+    ///
+    /// Call before recording; resizing discards already-retained samples.
+    #[must_use]
+    pub fn with_ring_capacity(self, cap: usize) -> Self {
+        let cap = cap.max(1);
+        {
+            let mut acc = self.acc.borrow_mut();
+            acc.window_rates = RingBuffer::new(cap);
+            for o in &mut acc.observers {
+                o.ring = RingBuffer::new(cap);
+            }
+            acc.ring_capacity = cap;
+        }
+        self
+    }
+
     /// Registers a named observable sampled every `every` steps into a
     /// bounded ring (the most recent 256 samples are retained).
     ///
@@ -343,12 +365,16 @@ impl<C: ClassifiedChain> Instrumented<C> {
         observe: impl Fn(&C::State) -> f64 + Send + 'static,
     ) -> Self {
         assert!(every > 0, "observable sampling interval must be positive");
-        self.acc.borrow_mut().observers.push(Observer {
-            name: name.into(),
-            every,
-            ring: RingBuffer::new(DEFAULT_RING_CAPACITY),
-            observe: Box::new(observe),
-        });
+        {
+            let mut acc = self.acc.borrow_mut();
+            let cap = acc.ring_capacity;
+            acc.observers.push(Observer {
+                name: name.into(),
+                every,
+                ring: RingBuffer::new(cap),
+                observe: Box::new(observe),
+            });
+        }
         self
     }
 
@@ -402,10 +428,11 @@ impl<C: ClassifiedChain> Instrumented<C> {
         acc.accepted = 0;
         acc.window_steps = 0;
         acc.window_accepted = 0;
-        acc.window_rates = RingBuffer::new(DEFAULT_RING_CAPACITY);
+        acc.window_rates = RingBuffer::new(acc.ring_capacity);
         acc.started = None;
+        let cap = acc.ring_capacity;
         for o in &mut acc.observers {
-            o.ring = RingBuffer::new(DEFAULT_RING_CAPACITY);
+            o.ring = RingBuffer::new(cap);
         }
     }
 

@@ -1,0 +1,453 @@
+//! [`run_chain`] — the one chunk loop every chain-driving bin shares.
+//!
+//! Before this existed, each sweep binary duplicated a two-branch block:
+//! a supervised (checkpointed, self-healing) run when `--checkpoint-dir`
+//! was set, and a hand-rolled chunk loop with heartbeats and audits
+//! otherwise. [`run_chain`] folds both branches behind one call and adds
+//! the budget enforcement of the [`crate::ResourceBudget`]: requested
+//! steps are clamped to the step cap, the wall-clock deadline is checked
+//! at every chunk boundary (and inside checkpoint I/O via the store's
+//! cancel token), and any budget trip ends the job degraded — with its
+//! last durable checkpoint step on record — instead of wedged or failed.
+
+use std::ops::ControlFlow;
+
+use rand::Rng;
+use sops_chains::{
+    run_supervised, Auditable, CancelKind, CheckpointError, CheckpointStore, MarkovChain,
+    Repairable, SnapshotRng, StateCodec, SupervisedOptions, SupervisedRun,
+};
+
+use crate::error::{DegradeReason, JobError};
+use crate::events::RuntimeEvent;
+use crate::runner::JobContext;
+
+/// One chain-driving job description for [`run_chain`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChainJob<'a> {
+    /// Requested steps (clamped to the budget's step cap).
+    pub steps: u64,
+    /// Chunk length: audit/checkpoint/heartbeat/cancellation interval.
+    pub every: u64,
+    /// Checkpoint store for the supervised path; `None` runs the plain
+    /// chunk loop (no rollback ladder, but still heartbeats, audits, and
+    /// budget checks).
+    pub store: Option<&'a CheckpointStore>,
+    /// Storeless-path audit interval (the supervised path audits every
+    /// chunk regardless).
+    pub audit_every: Option<u64>,
+}
+
+/// Runs a chain job under the cell's [`JobContext`]: supervised when the
+/// job has a checkpoint store, plain chunked execution otherwise.
+///
+/// Both paths beat the heartbeat per chunk, honor cooperative
+/// cancellation at chunk boundaries (the supervised path also inside
+/// checkpoint I/O, through the store's cancel token), clamp the step
+/// request to the budget's cap, and stop at the wall-clock deadline. Any
+/// budget trip or cancellation marks the cell degraded on `ctx` with the
+/// last durable checkpoint step; the partial [`SupervisedRun`] is still
+/// returned so the caller can report partial results.
+///
+/// The `on_chunk` hook is the caller's early-exit and side-channel seam
+/// (telemetry flushes, hitting-time checks); breaking out of it is a
+/// *successful* early exit, not a degradation.
+///
+/// # Errors
+///
+/// Returns a typed [`JobError`] on storage failure, corrupt checkpoints,
+/// a failed audit (storeless path), or an exhausted rollback ladder
+/// (supervised path).
+pub fn run_chain<C, R, F, G>(
+    ctx: &JobContext<'_>,
+    chain: &C,
+    state: &mut C::State,
+    rng: &mut R,
+    job: ChainJob<'_>,
+    observe: F,
+    mut on_chunk: G,
+) -> Result<SupervisedRun, JobError>
+where
+    C: MarkovChain,
+    C::State: StateCodec + Auditable + Repairable,
+    R: Rng + SnapshotRng + ?Sized,
+    F: FnMut(&C::State) -> f64,
+    G: FnMut(u64, &mut C::State) -> ControlFlow<()>,
+{
+    let steps = ctx.budget().clamp_steps(job.steps);
+    let step_capped = steps < job.steps;
+    match job.store {
+        Some(store) => {
+            // Thread the cell's cancel token into the store so
+            // cancellation is honored inside checkpoint I/O too.
+            let store = store.clone().with_cancel(ctx.cancel_token());
+            let opts = SupervisedOptions {
+                steps,
+                every: job.every,
+                max_rollbacks: ctx.budget().max_rollbacks,
+            };
+            let mut deadline_tripped = false;
+            let run = run_supervised(
+                chain,
+                state,
+                rng,
+                &store,
+                &opts,
+                ctx.heartbeat,
+                observe,
+                |t, s| {
+                    if ctx.deadline_exceeded() {
+                        deadline_tripped = true;
+                        return ControlFlow::Break(());
+                    }
+                    on_chunk(t, s)
+                },
+            )
+            .map_err(|e| match e {
+                CheckpointError::Cancelled => JobError::Cancelled {
+                    reason: ctx.cancel_reason(),
+                    step: ctx.heartbeat.steps(),
+                },
+                other => JobError::from(other),
+            })?;
+            ctx.absorb(&run);
+            if deadline_tripped {
+                ctx.note_degraded(DegradeReason::DeadlineExceeded, run.last_durable_step);
+            } else if step_capped && run.completed && run.steps >= steps {
+                ctx.note_degraded(DegradeReason::StepBudgetExhausted, run.last_durable_step);
+            }
+            Ok(run)
+        }
+        None => run_plain(
+            ctx,
+            chain,
+            state,
+            rng,
+            &job,
+            steps,
+            step_capped,
+            observe,
+            on_chunk,
+        ),
+    }
+}
+
+/// The storeless chunk loop: no rollback ladder (there is nothing to roll
+/// back to), but the same heartbeats, cancellation points, budget checks,
+/// and from-scratch audits as the supervised path.
+#[allow(clippy::too_many_arguments)]
+fn run_plain<C, R, F, G>(
+    ctx: &JobContext<'_>,
+    chain: &C,
+    state: &mut C::State,
+    rng: &mut R,
+    job: &ChainJob<'_>,
+    steps: u64,
+    step_capped: bool,
+    mut observe: F,
+    mut on_chunk: G,
+) -> Result<SupervisedRun, JobError>
+where
+    C: MarkovChain,
+    C::State: Auditable,
+    R: Rng + ?Sized,
+    F: FnMut(&C::State) -> f64,
+    G: FnMut(u64, &mut C::State) -> ControlFlow<()>,
+{
+    assert!(job.every > 0, "chain job chunk length must be positive");
+    let mut t = 0u64;
+    let mut accepted = 0u64;
+    let mut log = vec![(0, observe(state))];
+    let mut since_audit = 0u64;
+    let mut completed = true;
+    while t < steps {
+        if ctx.heartbeat.is_cancelled() {
+            let kind = ctx.heartbeat.cancel_kind().unwrap_or(CancelKind::External);
+            ctx.emit(RuntimeEvent::Cancelled { step: t, kind });
+            ctx.note_degraded(ctx.cancel_reason(), None);
+            completed = false;
+            break;
+        }
+        if ctx.deadline_exceeded() {
+            ctx.note_degraded(DegradeReason::DeadlineExceeded, None);
+            completed = false;
+            break;
+        }
+        let burst = job.every.min(steps - t);
+        accepted += chain.run(state, burst, rng);
+        t += burst;
+        ctx.heartbeat.beat(t);
+        if let Some(every) = job.audit_every {
+            since_audit += burst;
+            if since_audit >= every {
+                since_audit = 0;
+                let violations = state.audit_violations();
+                if !violations.is_empty() {
+                    return Err(JobError::AuditFailed {
+                        step: t,
+                        violations,
+                    });
+                }
+            }
+        }
+        log.push((t, observe(state)));
+        if on_chunk(t, state).is_break() {
+            break;
+        }
+    }
+    if completed && step_capped && t >= steps {
+        ctx.note_degraded(DegradeReason::StepBudgetExhausted, None);
+    }
+    Ok(SupervisedRun {
+        steps: t,
+        accepted,
+        log,
+        resumed_from: None,
+        rejected: Vec::new(),
+        reaped: Vec::new(),
+        snapshots_written: 0,
+        events: Vec::new(),
+        completed,
+        last_durable_step: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_cells, BackoffPolicy, CellStatus, ResourceBudget, SweepOptions};
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A fresh scratch directory per test, removed on drop.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "sops-runtime-chainjob-{}-{tag}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// Minimal checkpointable state: a counter with a trivial audit.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Counter {
+        x: u64,
+    }
+
+    impl StateCodec for Counter {
+        fn encode_state(&self) -> Vec<u8> {
+            self.x.to_le_bytes().to_vec()
+        }
+        fn decode_state(bytes: &[u8]) -> Result<Self, String> {
+            let arr: [u8; 8] = bytes.try_into().map_err(|_| "bad length".to_string())?;
+            Ok(Counter {
+                x: u64::from_le_bytes(arr),
+            })
+        }
+    }
+
+    impl Auditable for Counter {
+        fn audit_violations(&self) -> Vec<String> {
+            Vec::new()
+        }
+    }
+
+    impl Repairable for Counter {
+        fn repair_state(&mut self) -> Result<Vec<String>, Vec<String>> {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Lazy walk: increments with probability 1/2.
+    struct Walk;
+
+    impl MarkovChain for Walk {
+        type State = Counter;
+        fn step<R: Rng + ?Sized>(&self, s: &mut Counter, rng: &mut R) -> bool {
+            if rng.random_range(0..2u8) == 0 {
+                s.x += 1;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn fast_opts() -> SweepOptions {
+        SweepOptions {
+            backoff: BackoffPolicy {
+                base_ms: 0,
+                cap_ms: 0,
+            },
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn step_budget_clamps_and_degrades_storeless_runs() {
+        let opts = SweepOptions {
+            budget: ResourceBudget {
+                max_steps: Some(6_000),
+                ..ResourceBudget::default()
+            },
+            ..fast_opts()
+        };
+        let outcomes = run_cells(vec!["cell"], &opts, |_, ctx| {
+            let mut state = Counter { x: 0 };
+            let mut rng = StdRng::seed_from_u64(7);
+            let job = ChainJob {
+                steps: 12_000,
+                every: 1_000,
+                store: None,
+                audit_every: Some(2_000),
+            };
+            let run = run_chain(
+                ctx,
+                &Walk,
+                &mut state,
+                &mut rng,
+                job,
+                |s| s.x as f64,
+                |_, _| ControlFlow::Continue(()),
+            )?;
+            Ok(run.steps)
+        });
+        assert_eq!(outcomes[0].result, Some(6_000));
+        assert_eq!(
+            outcomes[0].status,
+            CellStatus::Degraded {
+                reason: crate::DegradeReason::StepBudgetExhausted,
+                last_durable_step: None,
+            }
+        );
+    }
+
+    #[test]
+    fn early_exit_via_on_chunk_is_not_degraded() {
+        let outcomes = run_cells(vec!["cell"], &fast_opts(), |_, ctx| {
+            let mut state = Counter { x: 0 };
+            let mut rng = StdRng::seed_from_u64(7);
+            let job = ChainJob {
+                steps: 100_000,
+                every: 1_000,
+                store: None,
+                audit_every: None,
+            };
+            let run = run_chain(
+                ctx,
+                &Walk,
+                &mut state,
+                &mut rng,
+                job,
+                |s| s.x as f64,
+                |t, _| {
+                    if t >= 3_000 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            )?;
+            Ok(run.steps)
+        });
+        assert_eq!(outcomes[0].result, Some(3_000));
+        assert_eq!(outcomes[0].status, CellStatus::Ok);
+    }
+
+    #[test]
+    fn supervised_step_budget_leaves_a_durable_checkpoint() {
+        let scratch = Scratch::new("cap");
+        let store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        let opts = SweepOptions {
+            budget: ResourceBudget {
+                max_steps: Some(4_000),
+                ..ResourceBudget::default()
+            },
+            ..fast_opts()
+        };
+        let outcomes = run_cells(vec!["cell"], &opts, |_, ctx| {
+            let mut state = Counter { x: 0 };
+            let mut rng = StdRng::seed_from_u64(9);
+            let job = ChainJob {
+                steps: 50_000,
+                every: 1_000,
+                store: Some(&store),
+                audit_every: None,
+            };
+            let run = run_chain(
+                ctx,
+                &Walk,
+                &mut state,
+                &mut rng,
+                job,
+                |s| s.x as f64,
+                |_, _| ControlFlow::Continue(()),
+            )?;
+            Ok(run.steps)
+        });
+        assert_eq!(outcomes[0].result, Some(4_000));
+        assert_eq!(
+            outcomes[0].status,
+            CellStatus::Degraded {
+                reason: crate::DegradeReason::StepBudgetExhausted,
+                last_durable_step: Some(4_000),
+            }
+        );
+        // The checkpoint named by the status is durable and loadable.
+        let rec = store.recover::<Counter>().unwrap();
+        assert_eq!(rec.checkpoint.unwrap().step, 4_000);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_before_any_step() {
+        let opts = SweepOptions {
+            budget: ResourceBudget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..ResourceBudget::default()
+            },
+            ..fast_opts()
+        };
+        let outcomes = run_cells(vec!["cell"], &opts, |_, ctx| {
+            let mut state = Counter { x: 0 };
+            let mut rng = StdRng::seed_from_u64(3);
+            let job = ChainJob {
+                steps: 10_000,
+                every: 1_000,
+                store: None,
+                audit_every: None,
+            };
+            let run = run_chain(
+                ctx,
+                &Walk,
+                &mut state,
+                &mut rng,
+                job,
+                |s| s.x as f64,
+                |_, _| ControlFlow::Continue(()),
+            )?;
+            Ok(run.steps)
+        });
+        assert_eq!(outcomes[0].result, Some(0));
+        assert!(matches!(
+            outcomes[0].status,
+            CellStatus::Degraded {
+                reason: crate::DegradeReason::DeadlineExceeded,
+                ..
+            }
+        ));
+    }
+}

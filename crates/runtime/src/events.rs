@@ -1,0 +1,152 @@
+//! Runtime events: the observable trace of supervision decisions.
+//!
+//! Every retry, repair, rollback, cancellation, and degradation a job goes
+//! through becomes a [`RuntimeEvent`], collected on the job's
+//! [`crate::JobContext`] and rendered both into the cells report and —
+//! via [`RuntimeEvent::telemetry_line`] — into the per-cell JSONL
+//! telemetry stream, so failures are observable, not just counted.
+
+use crate::error::DegradeReason;
+use sops_chains::telemetry::json_escape;
+use sops_chains::CancelKind;
+
+/// One supervision decision taken while running a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeEvent {
+    /// A failed attempt is about to be retried after a backoff delay.
+    Retry {
+        /// The attempt about to run (2 = first retry).
+        attempt: u32,
+        /// The backoff delay slept before it, in milliseconds.
+        delay_ms: u64,
+        /// The failure kind that triggered the retry.
+        error_kind: &'static str,
+    },
+    /// The recovery ladder repaired the state in place.
+    Repaired {
+        /// Step count at which the audit fired.
+        step: u64,
+    },
+    /// The recovery ladder rolled back to a durable checkpoint.
+    RolledBack {
+        /// Step count at which the audit fired.
+        from_step: u64,
+        /// Step count of the restored checkpoint.
+        to_step: u64,
+    },
+    /// The job observed cancellation and exited at a safe point.
+    Cancelled {
+        /// Step count reached when cancellation was observed.
+        step: u64,
+        /// Whether the cancel was external or a stall verdict.
+        kind: CancelKind,
+    },
+    /// The job ended degraded (budget trip, stall, or external cancel).
+    Degraded {
+        /// Why the job degraded.
+        reason: DegradeReason,
+        /// The newest durable checkpoint step, if any was persisted.
+        last_durable_step: Option<u64>,
+    },
+}
+
+impl RuntimeEvent {
+    /// The stable machine-readable event name.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RuntimeEvent::Retry { .. } => "retry",
+            RuntimeEvent::Repaired { .. } => "repaired",
+            RuntimeEvent::RolledBack { .. } => "rolled_back",
+            RuntimeEvent::Cancelled { .. } => "cancelled",
+            RuntimeEvent::Degraded { .. } => "degraded",
+        }
+    }
+
+    /// Renders the event as a bare JSON object (no trailing newline) for
+    /// embedding in the cells report's per-cell `events` array.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            RuntimeEvent::Retry {
+                attempt,
+                delay_ms,
+                error_kind,
+            } => format!(
+                "{{\"event\": \"retry\", \"attempt\": {attempt}, \"delay_ms\": {delay_ms}, \
+                 \"error_kind\": \"{}\"}}",
+                json_escape(error_kind)
+            ),
+            RuntimeEvent::Repaired { step } => {
+                format!("{{\"event\": \"repaired\", \"step\": {step}}}")
+            }
+            RuntimeEvent::RolledBack { from_step, to_step } => format!(
+                "{{\"event\": \"rolled_back\", \"from_step\": {from_step}, \
+                 \"to_step\": {to_step}}}"
+            ),
+            RuntimeEvent::Cancelled { step, kind } => {
+                let kind = match kind {
+                    CancelKind::External => "external",
+                    CancelKind::Stalled => "stalled",
+                };
+                format!(
+                    "{{\"event\": \"cancelled\", \"step\": {step}, \"cancel_kind\": \"{kind}\"}}"
+                )
+            }
+            RuntimeEvent::Degraded {
+                reason,
+                last_durable_step,
+            } => {
+                let durable =
+                    last_durable_step.map_or_else(|| "null".to_string(), |s| s.to_string());
+                format!(
+                    "{{\"event\": \"degraded\", \"reason\": \"{}\", \
+                     \"last_durable_step\": {durable}}}",
+                    reason.code()
+                )
+            }
+        }
+    }
+
+    /// Renders the event as a full JSONL telemetry record, in the same
+    /// `{"kind": ...}` framing the metric sink uses.
+    #[must_use]
+    pub fn telemetry_line(&self) -> String {
+        format!(
+            "{{\"kind\": \"runtime_event\", \"payload\": {}}}",
+            self.to_json()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_stable_json() {
+        let e = RuntimeEvent::Retry {
+            attempt: 2,
+            delay_ms: 150,
+            error_kind: "panic",
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\": \"retry\", \"attempt\": 2, \"delay_ms\": 150, \
+             \"error_kind\": \"panic\"}"
+        );
+        let e = RuntimeEvent::Degraded {
+            reason: DegradeReason::StepBudgetExhausted,
+            last_durable_step: None,
+        };
+        assert!(e.to_json().contains("\"last_durable_step\": null"));
+        let e = RuntimeEvent::Cancelled {
+            step: 9,
+            kind: CancelKind::Stalled,
+        };
+        assert!(e
+            .telemetry_line()
+            .starts_with("{\"kind\": \"runtime_event\""));
+        assert!(e.telemetry_line().contains("\"cancel_kind\": \"stalled\""));
+    }
+}

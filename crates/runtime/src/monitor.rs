@@ -1,0 +1,121 @@
+//! The stall watchdog's pure decision core.
+//!
+//! Splitting the *decision* (is this cell frozen?) from the *clock* (the
+//! monitor thread's sleep loop) makes the poll/cancel race testable with
+//! a deterministic fake clock: a test drives [`MonitorState::poll`]
+//! directly, interleaves `Heartbeat::beat` calls wherever it wants, and
+//! asserts that a cell that advanced between the poll and the cancel
+//! decision is never killed (see `tests/watchdog_race.rs`).
+
+/// Stall watchdog tuning: a cell whose heartbeat step counter is
+/// unchanged for `stall_after` consecutive polls is cancelled and marked
+/// [`crate::CellStatus::Degraded`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallPolicy {
+    /// Poll interval in milliseconds.
+    pub poll_ms: u64,
+    /// Consecutive frozen polls before the cell is declared stalled.
+    pub stall_after: u32,
+}
+
+impl StallPolicy {
+    /// A policy that declares a stall after roughly `total_ms` of frozen
+    /// heartbeat, polling 4 times within that window.
+    #[must_use]
+    pub fn with_timeout_ms(total_ms: u64) -> Self {
+        StallPolicy {
+            poll_ms: (total_ms / 4).max(1),
+            stall_after: 4,
+        }
+    }
+}
+
+/// Per-cell freeze counters for the stall watchdog; every call to
+/// [`MonitorState::poll`] is one tick of the (real or fake) clock.
+#[derive(Debug)]
+pub struct MonitorState {
+    last: Vec<u64>,
+    frozen: Vec<u32>,
+    stall_after: u32,
+}
+
+impl MonitorState {
+    /// Fresh counters for `cells` cells.
+    #[must_use]
+    pub fn new(cells: usize, stall_after: u32) -> Self {
+        MonitorState {
+            last: vec![0; cells],
+            frozen: vec![0; cells],
+            stall_after: stall_after.max(1),
+        }
+    }
+
+    /// One poll tick over the observed `(steps, done)` of every cell.
+    ///
+    /// Returns the cells judged stalled as `(index, expected_step)` pairs.
+    /// The verdict is *advisory*: the caller must confirm it against the
+    /// live heartbeat with `Heartbeat::cancel_if_stalled_at(expected)`,
+    /// which refuses to kill a cell that advanced after this poll — that
+    /// two-phase protocol is what closes the poll/cancel race window.
+    pub fn poll(&mut self, observed: &[(u64, bool)]) -> Vec<(usize, u64)> {
+        assert_eq!(observed.len(), self.last.len(), "cell count mismatch");
+        let mut stalled = Vec::new();
+        for (i, &(now, done)) in observed.iter().enumerate() {
+            if done {
+                continue;
+            }
+            if now == self.last[i] {
+                self.frozen[i] += 1;
+                if self.frozen[i] >= self.stall_after {
+                    stalled.push((i, now));
+                }
+            } else {
+                self.frozen[i] = 0;
+                self.last[i] = now;
+            }
+        }
+        stalled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_timeout_splits_into_four_polls() {
+        assert_eq!(
+            StallPolicy::with_timeout_ms(8_000),
+            StallPolicy {
+                poll_ms: 2_000,
+                stall_after: 4
+            }
+        );
+        // Tiny timeouts still poll.
+        assert_eq!(StallPolicy::with_timeout_ms(2).poll_ms, 1);
+    }
+
+    #[test]
+    fn frozen_counter_triggers_after_threshold_and_resets_on_progress() {
+        let mut mon = MonitorState::new(2, 3);
+        // Cell 0 progresses, cell 1 freezes at 5. The first observation
+        // of step 5 counts as progress from the initial 0; freeze polls
+        // accumulate only after it.
+        assert!(mon.poll(&[(10, false), (5, false)]).is_empty());
+        assert!(mon.poll(&[(20, false), (5, false)]).is_empty());
+        assert!(mon.poll(&[(30, false), (5, false)]).is_empty());
+        assert_eq!(mon.poll(&[(40, false), (5, false)]), vec![(1, 5)]);
+        // Progress resets the freeze count; cell 0 now freezes at 40.
+        assert!(mon.poll(&[(40, false), (6, false)]).is_empty());
+        assert!(mon.poll(&[(40, false), (7, false)]).is_empty());
+        // Third consecutive frozen poll for cell 0 trips the threshold.
+        assert_eq!(mon.poll(&[(40, false), (8, false)]), vec![(0, 40)]);
+    }
+
+    #[test]
+    fn done_cells_are_never_reported() {
+        let mut mon = MonitorState::new(1, 1);
+        assert!(mon.poll(&[(0, true)]).is_empty());
+        assert!(mon.poll(&[(0, true)]).is_empty());
+    }
+}

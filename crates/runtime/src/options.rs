@@ -1,0 +1,351 @@
+//! [`SweepOptions`] — the CLI surface and per-cell plumbing shared by
+//! every sweep binary.
+//!
+//! Flags ([`SweepOptions::from_args`]): `--checkpoint-dir DIR` persists
+//! per-cell snapshots there, `--resume` continues from them (without it a
+//! fresh run clears stale cell state), `--audit-every N` re-verifies
+//! configuration invariants from scratch every `N` steps, `--retries K`
+//! bounds per-cell retry attempts, `--backoff-ms B` sets the base retry
+//! backoff, `--stall-ms S` arms the stall watchdog, `--no-telemetry`
+//! suppresses the per-cell JSONL metric streams, and the
+//! [`crate::ResourceBudget`] flags: `--deadline-ms D` caps the sweep's
+//! wall-clock time, `--max-steps N` caps chain steps per cell,
+//! `--max-rollbacks R` bounds the recovery ladder, `--memory-mb M` sets
+//! the approximate memory ceiling that sizes checkpoint retention and
+//! telemetry rings.
+
+use std::path::{Path, PathBuf};
+
+use sops_chains::{CheckpointError, CheckpointStore, JsonlSink, RunManifest};
+
+use crate::backoff::BackoffPolicy;
+use crate::budget::ResourceBudget;
+use crate::monitor::StallPolicy;
+
+/// Runtime options shared by every sweep binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepOptions {
+    /// Where to persist per-cell checkpoints; `None` disables snapshots.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Whether to resume from existing snapshots instead of starting over.
+    pub resume: bool,
+    /// Re-audit configuration invariants every this many steps.
+    pub audit_every: Option<u64>,
+    /// How many snapshots each cell retains (further reduced by the
+    /// budget's memory ceiling — see
+    /// [`ResourceBudget::checkpoint_retention`]).
+    pub retain: usize,
+    /// Whether to emit per-cell JSONL telemetry streams.
+    pub telemetry: bool,
+    /// Delay schedule between retry attempts.
+    pub backoff: BackoffPolicy,
+    /// Stall watchdog configuration; `None` disables the watchdog.
+    pub stall: Option<StallPolicy>,
+    /// The resource envelope every cell runs within.
+    pub budget: ResourceBudget,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            checkpoint_dir: None,
+            resume: false,
+            audit_every: None,
+            retain: 3,
+            telemetry: true,
+            backoff: BackoffPolicy::default(),
+            stall: None,
+            budget: ResourceBudget::default(),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Parses the process arguments. Unknown flags are reported to stderr
+    /// and ignored, so binaries stay usable from wrapper scripts that pass
+    /// extra context.
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    pub(crate) fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = SweepOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take_value = |flag: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--checkpoint-dir" => {
+                    opts.checkpoint_dir = Some(PathBuf::from(take_value("--checkpoint-dir")));
+                }
+                "--resume" => opts.resume = true,
+                "--audit-every" => {
+                    let v = take_value("--audit-every");
+                    opts.audit_every = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| panic!("--audit-every expects a step count: {v}")),
+                    );
+                }
+                "--retries" => {
+                    let v = take_value("--retries");
+                    opts.budget.max_retries = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--retries expects a count: {v}"));
+                }
+                "--backoff-ms" => {
+                    let v = take_value("--backoff-ms");
+                    opts.backoff.base_ms = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--backoff-ms expects milliseconds: {v}"));
+                }
+                "--stall-ms" => {
+                    let v = take_value("--stall-ms");
+                    let total: u64 = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--stall-ms expects milliseconds: {v}"));
+                    opts.stall = Some(StallPolicy::with_timeout_ms(total));
+                }
+                "--deadline-ms" => {
+                    let v = take_value("--deadline-ms");
+                    let ms: u64 = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--deadline-ms expects milliseconds: {v}"));
+                    opts.budget.deadline = Some(std::time::Duration::from_millis(ms));
+                }
+                "--max-steps" => {
+                    let v = take_value("--max-steps");
+                    opts.budget.max_steps = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| panic!("--max-steps expects a step count: {v}")),
+                    );
+                }
+                "--max-rollbacks" => {
+                    let v = take_value("--max-rollbacks");
+                    opts.budget.max_rollbacks = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--max-rollbacks expects a count: {v}"));
+                }
+                "--memory-mb" => {
+                    let v = take_value("--memory-mb");
+                    let mb: u64 = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--memory-mb expects a size in MiB: {v}"));
+                    opts.budget.memory_ceiling_bytes = Some(mb * 1024 * 1024);
+                }
+                "--no-telemetry" => opts.telemetry = false,
+                other => eprintln!("ignoring unknown flag {other:?}"),
+            }
+        }
+        opts
+    }
+
+    /// Opens the checkpoint store for one named sweep cell, or `None` when
+    /// checkpointing is disabled. Without `--resume`, any stale snapshots
+    /// for the cell are cleared first so the run starts from scratch. The
+    /// retention count is `retain` clamped by the budget's memory ceiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the cell directory cannot be prepared.
+    pub fn store_for(&self, cell: &str) -> Result<Option<CheckpointStore>, CheckpointError> {
+        let Some(dir) = &self.checkpoint_dir else {
+            return Ok(None);
+        };
+        let cell_dir = dir.join(sanitize(cell));
+        if !self.resume && cell_dir.exists() {
+            std::fs::remove_dir_all(&cell_dir)?;
+        }
+        let retain = self.budget.checkpoint_retention(self.retain);
+        CheckpointStore::open(cell_dir, retain).map(Some)
+    }
+
+    /// Opens the JSONL telemetry sink for one sweep cell at
+    /// `<logs_dir>/<bin>-<cell>.telemetry.jsonl`, or `None` when telemetry
+    /// is disabled via `--no-telemetry`.
+    ///
+    /// On a resumed run (`--resume` with `resumed_at`), an existing stream
+    /// for the cell is appended to — the sink records a `resumed` marker —
+    /// so one file holds the cell's full history across restarts. Otherwise
+    /// the stream is recreated from scratch with a fresh manifest line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the log file cannot be created or appended.
+    pub fn telemetry_sink(
+        &self,
+        logs_dir: &Path,
+        bin: &str,
+        cell: &str,
+        manifest: &RunManifest,
+        resumed_at: Option<u64>,
+    ) -> std::io::Result<Option<JsonlSink>> {
+        if !self.telemetry {
+            return Ok(None);
+        }
+        let path = logs_dir.join(format!("{bin}-{}.telemetry.jsonl", sanitize(cell)));
+        let sink = match resumed_at {
+            Some(step) if self.resume => JsonlSink::resume(&path, manifest, step)?,
+            _ => JsonlSink::create(&path, manifest)?,
+        };
+        Ok(Some(sink))
+    }
+
+    /// The telemetry ring capacity implied by the budget's memory ceiling,
+    /// or `None` to keep the instrument's default.
+    #[must_use]
+    pub fn ring_capacity(&self) -> Option<usize> {
+        self.budget.ring_capacity()
+    }
+}
+
+/// Makes a cell label safe as a directory or file name.
+#[must_use]
+pub fn sanitize(cell: &str) -> String {
+    cell.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn parse_recognizes_all_flags() {
+        let opts = SweepOptions::parse(
+            [
+                "--checkpoint-dir",
+                "/tmp/ckpt",
+                "--resume",
+                "--audit-every",
+                "50000",
+                "--retries",
+                "2",
+                "--backoff-ms",
+                "50",
+                "--stall-ms",
+                "8000",
+                "--deadline-ms",
+                "90000",
+                "--max-steps",
+                "1000000",
+                "--max-rollbacks",
+                "5",
+                "--memory-mb",
+                "64",
+                "--no-telemetry",
+                "--bogus",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(opts.checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
+        assert!(opts.resume);
+        assert_eq!(opts.audit_every, Some(50_000));
+        assert_eq!(opts.budget.max_retries, 2);
+        assert_eq!(opts.backoff.base_ms, 50);
+        assert_eq!(
+            opts.stall,
+            Some(StallPolicy {
+                poll_ms: 2_000,
+                stall_after: 4
+            })
+        );
+        assert_eq!(opts.budget.deadline, Some(Duration::from_millis(90_000)));
+        assert_eq!(opts.budget.max_steps, Some(1_000_000));
+        assert_eq!(opts.budget.max_rollbacks, 5);
+        assert_eq!(opts.budget.memory_ceiling_bytes, Some(64 * 1024 * 1024));
+        assert!(!opts.telemetry);
+    }
+
+    #[test]
+    fn parse_defaults_without_flags() {
+        let opts = SweepOptions::parse(std::iter::empty());
+        assert_eq!(opts, SweepOptions::default());
+        assert!(opts.stall.is_none());
+        assert_eq!(opts.budget, ResourceBudget::default());
+    }
+
+    #[test]
+    fn store_for_is_none_without_checkpoint_dir() {
+        let opts = SweepOptions::default();
+        assert!(opts.store_for("cell").unwrap().is_none());
+    }
+
+    #[test]
+    fn telemetry_sink_is_none_when_disabled() {
+        let opts = SweepOptions {
+            telemetry: false,
+            ..SweepOptions::default()
+        };
+        let manifest = RunManifest {
+            run: "test/cell".to_string(),
+            seed: 0,
+            lambda: 4.0,
+            gamma: 4.0,
+            n: 10,
+            steps: 100,
+        };
+        assert!(opts
+            .telemetry_sink(Path::new("/tmp"), "test", "cell", &manifest, None)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn store_for_clears_stale_cells_unless_resuming() {
+        let base = std::env::temp_dir().join(format!("sops-runtime-test-{}", std::process::id()));
+        let opts = SweepOptions {
+            checkpoint_dir: Some(base.clone()),
+            ..SweepOptions::default()
+        };
+        let store = opts.store_for("gamma=4.0").unwrap().unwrap();
+        let stale = store.dir().join("step-00000000000000000001.ckpt");
+        std::fs::write(&stale, "junk").unwrap();
+        // Fresh run: stale snapshot is cleared.
+        let store = opts.store_for("gamma=4.0").unwrap().unwrap();
+        assert!(store.list().unwrap().is_empty());
+        // Resumed run: snapshots survive.
+        std::fs::write(&stale, "junk").unwrap();
+        let resume = SweepOptions {
+            resume: true,
+            ..opts.clone()
+        };
+        let store = resume.store_for("gamma=4.0").unwrap().unwrap();
+        assert_eq!(store.list().unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn memory_ceiling_clamps_store_retention() {
+        let base = std::env::temp_dir().join(format!("sops-runtime-retain-{}", std::process::id()));
+        let opts = SweepOptions {
+            checkpoint_dir: Some(base.clone()),
+            retain: 5,
+            budget: ResourceBudget {
+                // Half of 128 KiB holds one ~64 KiB snapshot.
+                memory_ceiling_bytes: Some(128 * 1024),
+                ..ResourceBudget::default()
+            },
+            ..SweepOptions::default()
+        };
+        let store = opts.store_for("cell").unwrap().unwrap();
+        assert_eq!(store.retain(), 1);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn sanitize_keeps_labels_path_safe() {
+        assert_eq!(sanitize("gamma=4.0/x"), "gamma-4.0-x");
+        assert_eq!(sanitize("n100"), "n100");
+    }
+}

@@ -1,0 +1,152 @@
+//! Regression tests for the stall-watchdog poll/cancel race (satellite:
+//! heartbeat race fix).
+//!
+//! The hazard: the monitor polls a cell's step counter, judges it frozen,
+//! and only *then* decides to cancel. If the cell advances between the
+//! poll and the cancel decision, a naive watchdog kills a healthy cell.
+//! The fix is a two-phase protocol:
+//!
+//! 1. [`MonitorState::poll`] is the pure decision core — each call is one
+//!    tick of a (real or fake) clock and returns *advisory* verdicts as
+//!    `(cell, expected_step)` pairs;
+//! 2. the verdict is confirmed against the live counter with
+//!    [`Heartbeat::cancel_if_stalled_at`], which refuses to place the
+//!    stall mark when the counter moved past `expected`, and
+//!    [`Heartbeat::beat`] revokes a mark the instant progress passes it.
+//!
+//! These tests drive the protocol with a deterministic fake clock — every
+//! `poll` call is a tick, `beat` calls are interleaved at exact points —
+//! so the race window is exercised without threads or sleeps.
+
+use sops_runtime::{CancelKind, Heartbeat, MonitorState, StallPolicy};
+
+/// The core regression: the cell advances *between* the monitor's poll
+/// (which judged it frozen) and the cancel decision. The confirmation
+/// step must notice the stale verdict and spare the cell.
+#[test]
+fn cell_advancing_between_poll_and_cancel_is_not_killed() {
+    let hb = Heartbeat::new();
+    let mut mon = MonitorState::new(1, 2);
+
+    hb.beat(100);
+    // Tick 1 observes 100 as progress from the initial 0; ticks 2 and 3
+    // see it frozen, and tick 3 crosses the stall_after=2 threshold.
+    assert!(mon.poll(&[(hb.steps(), false)]).is_empty());
+    assert!(mon.poll(&[(hb.steps(), false)]).is_empty());
+    let verdict = mon.poll(&[(hb.steps(), false)]);
+    assert_eq!(verdict, vec![(0, 100)]);
+
+    // RACE WINDOW: the cell beats after the poll but before the monitor
+    // acts on the verdict.
+    hb.beat(101);
+
+    // The confirmation step sees the counter moved and withdraws.
+    let (_, expected) = verdict[0];
+    assert!(!hb.cancel_if_stalled_at(expected));
+    assert!(!hb.is_cancelled());
+    assert_eq!(hb.cancel_kind(), None);
+}
+
+/// Progress that lands *after* the stall mark is placed revokes it — the
+/// mark is a conditional sentence, not a death warrant.
+#[test]
+fn beat_after_stall_mark_revokes_the_cancellation() {
+    let hb = Heartbeat::new();
+    hb.beat(500);
+
+    // The mark sticks while the counter really is frozen at 500...
+    assert!(hb.cancel_if_stalled_at(500));
+    assert_eq!(hb.cancel_kind(), Some(CancelKind::Stalled));
+
+    // ...but the next beat proves the cell alive and lifts it.
+    hb.beat(501);
+    assert!(!hb.is_cancelled());
+    assert_eq!(hb.cancel_kind(), None);
+}
+
+/// A genuinely frozen cell is cancelled, and the cancellation is
+/// classified as a stall (not an external cancel), which is what the
+/// runner maps to `DegradeReason::Stalled`.
+#[test]
+fn truly_stalled_cell_is_cancelled_as_stalled() {
+    let hb = Heartbeat::new();
+    let mut mon = MonitorState::new(1, 3);
+
+    hb.beat(42);
+    assert!(mon.poll(&[(hb.steps(), false)]).is_empty()); // progress 0→42
+    assert!(mon.poll(&[(hb.steps(), false)]).is_empty()); // frozen ×1
+    assert!(mon.poll(&[(hb.steps(), false)]).is_empty()); // frozen ×2
+    let verdict = mon.poll(&[(hb.steps(), false)]); // frozen ×3 → stalled
+    assert_eq!(verdict, vec![(0, 42)]);
+
+    // No beat intervenes: the confirmation succeeds and sticks.
+    assert!(hb.cancel_if_stalled_at(42));
+    assert!(hb.is_cancelled());
+    assert_eq!(hb.cancel_kind(), Some(CancelKind::Stalled));
+
+    // Idempotent under repeated polls: the verdict stays up while the
+    // counter stays frozen.
+    assert_eq!(mon.poll(&[(hb.steps(), false)]), vec![(0, 42)]);
+}
+
+/// A stale verdict must not leave a latent mark behind: after the failed
+/// confirmation, the cell keeps running and later freezes at a *new*
+/// step; only a fresh verdict at the new step may kill it.
+#[test]
+fn withdrawn_verdict_leaves_no_latent_mark() {
+    let hb = Heartbeat::new();
+    let mut mon = MonitorState::new(1, 2);
+
+    hb.beat(10);
+    mon.poll(&[(hb.steps(), false)]); // progress 0→10
+    mon.poll(&[(hb.steps(), false)]); // frozen ×1
+    let verdict = mon.poll(&[(hb.steps(), false)]); // frozen ×2 → stalled
+    assert_eq!(verdict, vec![(0, 10)]);
+    hb.beat(11); // race: advances before confirmation
+    assert!(!hb.cancel_if_stalled_at(10));
+
+    // The cell now freezes at 11. The old withdrawn mark must not make
+    // it appear cancelled before the monitor re-judges it.
+    assert!(!hb.is_cancelled());
+    assert!(mon.poll(&[(hb.steps(), false)]).is_empty()); // progress 10→11
+    assert!(mon.poll(&[(hb.steps(), false)]).is_empty()); // frozen ×1
+    let verdict = mon.poll(&[(hb.steps(), false)]); // frozen ×2 → stalled
+    assert_eq!(verdict, vec![(0, 11)]);
+    assert!(hb.cancel_if_stalled_at(11));
+    assert_eq!(hb.cancel_kind(), Some(CancelKind::Stalled));
+}
+
+/// Multi-cell fake-clock run: one cell makes progress every tick, one
+/// freezes mid-run. Only the frozen cell is cancelled, and the healthy
+/// cell's heartbeat is untouched through the whole schedule.
+#[test]
+fn watchdog_kills_only_the_frozen_cell_in_a_mixed_sweep() {
+    let healthy = Heartbeat::new();
+    let frozen = Heartbeat::new();
+    let policy = StallPolicy::with_timeout_ms(4_000);
+    assert_eq!(policy.stall_after, 4);
+    let mut mon = MonitorState::new(2, policy.stall_after);
+
+    let mut killed: Vec<usize> = Vec::new();
+    for tick in 1u64..=12 {
+        healthy.beat(tick * 1_000);
+        if tick <= 3 {
+            frozen.beat(tick * 100);
+        }
+        let observed = [
+            (healthy.steps(), healthy.is_cancelled()),
+            (frozen.steps(), frozen.is_cancelled()),
+        ];
+        for (idx, expected) in mon.poll(&observed) {
+            let hb = if idx == 0 { &healthy } else { &frozen };
+            if hb.cancel_if_stalled_at(expected) && !killed.contains(&idx) {
+                killed.push(idx);
+            }
+        }
+    }
+
+    assert_eq!(killed, vec![1]);
+    assert!(!healthy.is_cancelled());
+    assert_eq!(frozen.cancel_kind(), Some(CancelKind::Stalled));
+    assert_eq!(frozen.steps(), 300);
+}

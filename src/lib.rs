@@ -19,6 +19,7 @@
 //! | [`amoebot`] | `sops-amoebot` | the amoebot model and the fully local distributed translation of `M` |
 //! | [`polymer`] | `sops-polymer` | the cluster expansion, Kotecký–Preiss condition, Theorem 11's volume/surface split, Ising high-temperature expansion |
 //! | [`baselines`] | `sops-baselines` | Schelling segregation and Ising Glauber dynamics |
+//! | [`runtime`] | `sops-runtime` | resource-bounded supervision for long sweeps: budgets, cooperative cancellation, panic isolation, typed degradation |
 //!
 //! # Quickstart
 //!
@@ -58,3 +59,4 @@ pub use sops_chains as chains;
 pub use sops_core as core;
 pub use sops_lattice as lattice;
 pub use sops_polymer as polymer;
+pub use sops_runtime as runtime;
