@@ -85,34 +85,52 @@ fn seeded_config(n: usize) -> Configuration {
 struct Throughput {
     n: usize,
     swaps: bool,
+    /// `"sequential"` ([`MarkovChain::step`]) or `"batched"`
+    /// ([`SeparationChain::run_batched`]); consumers treating the field as
+    /// optional (e.g. older `perf_guard` baselines) default to sequential.
+    kernel: &'static str,
     ns_per_step: f64,
 }
 
 fn bench_chain_step() -> Vec<Throughput> {
+    // The batched engine's per-step cost is only meaningful amortized over
+    // whole blocks, so its bench body runs a fixed step count per
+    // iteration and divides. The count is large enough that the per-call
+    // setup (scratch allocation, sampler construction) vanishes into the
+    // per-step figure instead of inflating it.
+    const BATCHED_STEPS: u64 = 4096;
     let mut rows = Vec::new();
     for n in [25usize, 100, 400] {
-        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
-        let mut config = seeded_config(n);
-        let mut rng = StdRng::seed_from_u64(1);
-        let ns = bench(&format!("chain_step/with_swaps/{n}"), || {
-            black_box(chain.step(&mut config, &mut rng));
-        });
-        rows.push(Throughput {
-            n,
-            swaps: true,
-            ns_per_step: ns,
-        });
-        let chain = SeparationChain::without_swaps(Bias::new(4.0, 4.0).unwrap());
-        let mut config = seeded_config(n);
-        let mut rng = StdRng::seed_from_u64(1);
-        let ns = bench(&format!("chain_step/without_swaps/{n}"), || {
-            black_box(chain.step(&mut config, &mut rng));
-        });
-        rows.push(Throughput {
-            n,
-            swaps: false,
-            ns_per_step: ns,
-        });
+        for swaps in [true, false] {
+            let chain = if swaps {
+                SeparationChain::new(Bias::new(4.0, 4.0).unwrap())
+            } else {
+                SeparationChain::without_swaps(Bias::new(4.0, 4.0).unwrap())
+            };
+            let label = if swaps { "with_swaps" } else { "without_swaps" };
+            let mut config = seeded_config(n);
+            let mut rng = StdRng::seed_from_u64(1);
+            let ns = bench(&format!("chain_step/{label}/{n}"), || {
+                black_box(chain.step(&mut config, &mut rng));
+            });
+            rows.push(Throughput {
+                n,
+                swaps,
+                kernel: "sequential",
+                ns_per_step: ns,
+            });
+            let mut config = seeded_config(n);
+            let mut rng = StdRng::seed_from_u64(1);
+            let ns = bench(&format!("chain_step_batched/{label}/{n}"), || {
+                black_box(chain.run_batched(&mut config, BATCHED_STEPS, &mut rng));
+            }) / BATCHED_STEPS as f64;
+            rows.push(Throughput {
+                n,
+                swaps,
+                kernel: "batched",
+                ns_per_step: ns,
+            });
+        }
     }
     rows
 }
@@ -256,9 +274,11 @@ fn write_bench_chain_json(throughput: &[Throughput], overhead: &OverheadBaseline
     json.push_str("  \"throughput\": [\n");
     for (i, row) in throughput.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"n\": {}, \"swaps\": {}, \"ns_per_step\": {}, \"steps_per_sec\": {}}}{}\n",
+            "    {{\"n\": {}, \"swaps\": {}, \"kernel\": \"{}\", \"ns_per_step\": {}, \
+             \"steps_per_sec\": {}}}{}\n",
             row.n,
             row.swaps,
+            row.kernel,
             json_f64(row.ns_per_step),
             json_f64(1e9 / row.ns_per_step),
             if i + 1 < throughput.len() { "," } else { "" },
@@ -268,14 +288,19 @@ fn write_bench_chain_json(throughput: &[Throughput], overhead: &OverheadBaseline
     // A wrapper that forwards to the bare chain cannot be faster than it;
     // clamp residual paired noise at zero so the recorded overhead is a
     // physically meaningful bound rather than an artifact like "−0.34%".
-    let overhead_pct = (overhead.disabled_delta_ns / overhead.bare_ns * 100.0).max(0.0);
+    // The clamp must cover the delta *and* the derived pct: an earlier
+    // baseline recorded `"disabled_delta_ns": -0.42` next to
+    // `"disabled_overhead_pct": 0.0`, an internally inconsistent pair that
+    // downstream tooling (reasonably) flagged as corruption.
+    let disabled_delta_ns = overhead.disabled_delta_ns.max(0.0);
+    let overhead_pct = disabled_delta_ns / overhead.bare_ns * 100.0;
     json.push_str(&format!(
         "  \"instrumented_overhead\": {{\"bare_ns\": {}, \"disabled_ns\": {}, \
          \"enabled_ns\": {}, \"disabled_delta_ns\": {}, \"disabled_overhead_pct\": {}}}\n",
         json_f64(overhead.bare_ns),
         json_f64(overhead.disabled_ns),
         json_f64(overhead.enabled_ns),
-        json_f64(overhead.disabled_delta_ns),
+        json_f64(disabled_delta_ns),
         json_f64(overhead_pct),
     ));
     json.push_str("}\n");

@@ -1,13 +1,16 @@
-//! Head-to-head timing of the fused proposal kernel against the unfused
-//! reference path, interleaved in one process.
+//! Head-to-head timing of the batched engine, the fused proposal kernel,
+//! and the unfused reference path, interleaved in one process.
 //!
 //! `BENCH_chain.json` numbers taken weeks apart compare different machine
 //! conditions as much as different code. This harness removes that
-//! confounder: each round times one batch of fused proposals and one batch
-//! of reference proposals back-to-back on identically evolving states, so
-//! the reported speedup is a paired within-round ratio that machine drift
-//! cannot fake. Run with `cargo run --release -p sops-bench --bin
-//! kernel_compare`.
+//! confounder: each round times one batch of proposals through each kernel
+//! back-to-back on identically evolving states, so the reported speedups
+//! are paired within-round ratios that machine drift cannot fake. (The
+//! batched engine's *trajectory* differs from the sequential kernels' —
+//! its RNG schedule is block-structured — but all three sample the same
+//! chain from the same steady-state start, so per-proposal costs are
+//! drawn from the same distribution.) Run with `cargo run --release -p
+//! sops-bench --bin kernel_compare`.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -32,23 +35,33 @@ fn steady_state(n: usize, chain: &SeparationChain) -> Configuration {
 fn main() {
     let mut table = Table::new([
         "n",
+        "batched",
         "fused",
         "reference",
-        "speedup",
+        "fused/batched",
+        "ref/fused",
         "(ns/step, median of paired rounds)",
     ]);
     for n in [25usize, 100, 400] {
         let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
         let config = steady_state(n, &chain);
-        // Both kernels evolve their own state from the same start with the
-        // same seed; equivalence tests prove the trajectories are identical,
-        // so each round's batches do the same work on the same distribution.
+        // Each kernel evolves its own state from the same start with the
+        // same seed; the two sequential kernels' trajectories are provably
+        // identical, the batched one samples the same chain.
+        let mut batched_state = (config.clone(), StdRng::seed_from_u64(1));
         let mut fused_state = (config.clone(), StdRng::seed_from_u64(1));
         let mut ref_state = (config, StdRng::seed_from_u64(1));
-        let mut ratios = Vec::with_capacity(ROUNDS);
+        let mut batched_ratios = Vec::with_capacity(ROUNDS);
+        let mut ref_ratios = Vec::with_capacity(ROUNDS);
+        let mut batched_ns = Vec::with_capacity(ROUNDS);
         let mut fused_ns = Vec::with_capacity(ROUNDS);
         let mut ref_ns = Vec::with_capacity(ROUNDS);
         for _ in 0..ROUNDS {
+            let (config, rng) = &mut batched_state;
+            let t = Instant::now();
+            black_box(chain.run_batched(config, BATCH, rng));
+            let batched = t.elapsed().as_nanos() as f64 / BATCH as f64;
+
             let (config, rng) = &mut fused_state;
             let t = Instant::now();
             for _ in 0..BATCH {
@@ -66,9 +79,11 @@ fn main() {
                 black_box(chain.propose_reference(config, p, d, rng));
             }
             let reference = t.elapsed().as_nanos() as f64 / BATCH as f64;
+            batched_ns.push(batched);
             fused_ns.push(fused);
             ref_ns.push(reference);
-            ratios.push(reference / fused);
+            batched_ratios.push(fused / batched);
+            ref_ratios.push(reference / fused);
         }
         let median = |mut v: Vec<f64>| -> f64 {
             v.sort_by(f64::total_cmp);
@@ -76,9 +91,11 @@ fn main() {
         };
         table.row([
             n.to_string(),
+            format!("{:.1}", median(batched_ns)),
             format!("{:.1}", median(fused_ns)),
             format!("{:.1}", median(ref_ns)),
-            format!("{:.2}x", median(ratios)),
+            format!("{:.2}x", median(batched_ratios)),
+            format!("{:.2}x", median(ref_ratios)),
             String::new(),
         ]);
     }

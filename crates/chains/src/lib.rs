@@ -73,6 +73,9 @@ pub use checkpoint::{
     MarkovChainCheckpointExt, Recovery, SnapshotRng, StateCodec,
 };
 pub use exact::{EnumerableChain, TransitionMatrix};
+pub use metropolis::{
+    ExponentOverflow, PowerRatio, PowerTable, WeightAccumulator, POWER_TABLE_EXPONENT_MAX,
+};
 pub use recovery::{
     run_supervised, CancelKind, Heartbeat, RecoveryEvent, Repairable, SupervisedOptions,
     SupervisedRun,

@@ -1,0 +1,605 @@
+//! Batched proposal engine: block-at-a-time evaluation of chain `M`.
+//!
+//! The sequential kernel ([`SeparationChain::propose`]) handles one proposal
+//! at a time: draw, probe, filter, commit, repeat. This module evaluates
+//! proposals in fixed-size **blocks** instead — all draws up front, ring
+//! gathers batched into structure-of-arrays scratch, the Property-4/5 check
+//! against the packed [`properties::MOVEMENT_ALLOWED_BITS`] bitset, and
+//! every Metropolis exponent computed as a masked popcount over the block's
+//! packed ring bytes (eight lanes per `u64` under the `simd` feature; see
+//! [`masked_popcounts`]) — while producing **exactly** the trajectory the
+//! sequential kernel would, proposal for proposal.
+//!
+//! # RNG draw-order contract (batched mode)
+//!
+//! Batched stepping consumes the RNG in a documented, block-structured
+//! order. For each block of `B` proposals (the final block may be shorter):
+//!
+//! 1. **Pair draws, block-first.** The block's `B` (particle, direction)
+//!    pairs are drawn first, in proposal order — for each proposal one
+//!    particle index then one direction index, both via
+//!    [`rand::PreparedUniform`] (Lemire widening-multiply rejection;
+//!    division-free per draw). The spans (`n` and 6) are state-independent,
+//!    so pair draws never depend on in-block acceptances.
+//! 2. **Metropolis draws, commit-ordered and lazy.** The per-proposal
+//!    uniform `q ~ U(0,1)` draws follow, in proposal order, consumed
+//!    *exactly when the sequential kernel would consume them* for the same
+//!    proposal applied to the same (current) state: no draw for the four
+//!    hold/guard outcomes, no draw when the acceptance ratio is certainly
+//!    ≥ 1, one `f64` draw otherwise.
+//!
+//! Under this contract the batched engine is *proposal-for-proposal
+//! identical* to sequentially drawing each block's pairs up front and then
+//! feeding them one at a time through [`SeparationChain::propose`] — same
+//! [`StepOutcome`] sequence, same state evolution, same RNG stream. The
+//! `kernel_equivalence` suite pins this bit for bit, including partial
+//! blocks. (Note the *trajectory* differs from
+//! [`SeparationChain::step_detailed`] stepping for the same seed, because
+//! pair draws are grouped and use a different uniform reduction; both are
+//! exact samplers of the same chain.)
+//!
+//! # How batching stays exact
+//!
+//! Verdicts are precomputed against block-start state, then committed in
+//! proposal order with a conflict check: each accepted proposal dirties the
+//! two nodes it changed, and a later proposal whose *footprint* (the
+//! 10-node [`sops_lattice::pair_footprint_offsets`] neighborhood for lanes
+//! that probed their ring; just `{ℓ, ℓ′}` for the 1-probe holds) touches a
+//! dirty node is re-evaluated through the sequential kernel against the
+//! live state. Everything a proposal's guards, exponents, and counter
+//! updates can read lies inside its footprint, so clean lanes' precomputed
+//! verdicts are exact and fallback lanes are sequential by construction.
+//! Fallbacks are counted in [`BatchReport::fallback_proposals`]; on
+//! steady-state configurations they are a small fraction (acceptance rates
+//! are low), which is what makes the optimistic strategy profitable.
+
+use rand::{PreparedUniform, Rng};
+
+use sops_chains::metropolis::{accept as metropolis_accept, factor_certainly_ge_one};
+use sops_lattice::{
+    pair_footprint_offsets, Direction, Node, DIRECTIONS, RING_FROM_SIDE, RING_TO_SIDE,
+};
+
+use crate::{properties, Configuration, SeparationChain, StepOutcome};
+
+/// Hard cap on the block size: the scratch buffers are fixed stack arrays.
+pub const MAX_BLOCK_PROPOSALS: usize = 64;
+
+/// Default block size for [`SeparationChain::run_batched`]: large enough to
+/// amortize the block machinery and fill four `u64`-lane SWAR sweeps, small
+/// enough that in-block conflicts (which force sequential fallback) stay
+/// rare at realistic acceptance rates. Empirically the throughput curve is
+/// flat from 16 to 48 lanes and dips slightly at 64 (the conflict-fallback
+/// rate grows with the block while the SWAR sweeps are already saturated),
+/// so the default sits at the flat region's center.
+pub const DEFAULT_BLOCK_PROPOSALS: usize = 32;
+
+/// Statistics from a batched run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Proposals evaluated (= the `steps` argument).
+    pub steps: u64,
+    /// Proposals that changed the state (moves + swaps).
+    pub accepted: u64,
+    /// Proposals whose footprint intersected an earlier in-block acceptance
+    /// and were therefore re-evaluated through the sequential kernel.
+    pub fallback_proposals: u64,
+    /// Blocks executed (including the final partial block, if any).
+    pub blocks: u64,
+}
+
+/// A lane's precomputed fate, one byte wide so the commit pass streams tags
+/// instead of matching a 16-byte enum. The two *narrow* holds (whose
+/// footprint is just `{ℓ, ℓ′}`) sort below [`TAG_NARROW_MAX`]; Metropolis
+/// lanes carry their acceptance ratio in the block's `value` array, with
+/// `value ≥ 1.0` meaning "certain accept, draw nothing".
+const TAG_SAME_COLOR: u8 = 0;
+const TAG_TARGET_OCCUPIED: u8 = 1;
+/// Largest tag whose lane read only `{ℓ, ℓ′}` (see [`lane_conflicts`]).
+const TAG_NARROW_MAX: u8 = TAG_TARGET_OCCUPIED;
+const TAG_FIVE_NEIGHBORS: u8 = 2;
+const TAG_PROPERTY: u8 = 3;
+const TAG_MOVE: u8 = 4;
+const TAG_SWAP: u8 = 5;
+
+/// Structure-of-arrays scratch for one block, allocated once per run and
+/// reused across blocks: re-zeroing ~3 KiB of lane arrays per 64 proposals
+/// costs more than the popcounts they feed. Stale lanes from earlier
+/// blocks are harmless — every consumer is gated on this block's verdicts.
+struct BlockScratch {
+    particle: [u32; MAX_BLOCK_PROPOSALS],
+    dir: [Direction; MAX_BLOCK_PROPOSALS],
+    from: [Node; MAX_BLOCK_PROPOSALS],
+    occ: [u8; MAX_BLOCK_PROPOSALS],
+    ci_bits: [u8; MAX_BLOCK_PROPOSALS],
+    cj_bits: [u8; MAX_BLOCK_PROPOSALS],
+    tag: [u8; MAX_BLOCK_PROPOSALS],
+    value: [f64; MAX_BLOCK_PROPOSALS],
+    /// Lane indices still awaiting their ratio after phase 2 (`TAG_MOVE` /
+    /// `TAG_SWAP` lanes); phase 4 visits only these, not the whole block.
+    pending: [u8; MAX_BLOCK_PROPOSALS],
+    e_from: [u8; MAX_BLOCK_PROPOSALS],
+    e_to: [u8; MAX_BLOCK_PROPOSALS],
+    ci_from: [u8; MAX_BLOCK_PROPOSALS],
+    ci_to: [u8; MAX_BLOCK_PROPOSALS],
+    cj_from: [u8; MAX_BLOCK_PROPOSALS],
+    cj_to: [u8; MAX_BLOCK_PROPOSALS],
+}
+
+impl BlockScratch {
+    fn new() -> Box<Self> {
+        Box::new(BlockScratch {
+            particle: [0; MAX_BLOCK_PROPOSALS],
+            dir: [DIRECTIONS[0]; MAX_BLOCK_PROPOSALS],
+            from: [Node::ORIGIN; MAX_BLOCK_PROPOSALS],
+            occ: [0; MAX_BLOCK_PROPOSALS],
+            ci_bits: [0; MAX_BLOCK_PROPOSALS],
+            cj_bits: [0; MAX_BLOCK_PROPOSALS],
+            tag: [TAG_SAME_COLOR; MAX_BLOCK_PROPOSALS],
+            value: [0.0; MAX_BLOCK_PROPOSALS],
+            pending: [0; MAX_BLOCK_PROPOSALS],
+            e_from: [0; MAX_BLOCK_PROPOSALS],
+            e_to: [0; MAX_BLOCK_PROPOSALS],
+            ci_from: [0; MAX_BLOCK_PROPOSALS],
+            ci_to: [0; MAX_BLOCK_PROPOSALS],
+            cj_from: [0; MAX_BLOCK_PROPOSALS],
+            cj_to: [0; MAX_BLOCK_PROPOSALS],
+        })
+    }
+}
+
+impl SeparationChain {
+    /// Runs `steps` proposals through the batched engine with the default
+    /// block size, under the module-level RNG draw-order contract.
+    ///
+    /// Produces exactly the per-proposal behavior of the sequential fused
+    /// kernel fed the same proposal stream; only the draw *schedule*
+    /// (pairs grouped per block, Lemire-reduced) distinguishes it from
+    /// [`SeparationChain::step_detailed`] stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is empty (there is no particle to activate —
+    /// matching [`SeparationChain::step_detailed`]).
+    pub fn run_batched<R: Rng + ?Sized>(
+        &self,
+        config: &mut Configuration,
+        steps: u64,
+        rng: &mut R,
+    ) -> BatchReport {
+        self.run_batched_with(config, steps, DEFAULT_BLOCK_PROPOSALS, rng, |_| {})
+    }
+
+    /// [`SeparationChain::run_batched`] with an explicit block size and a
+    /// per-proposal outcome sink (e.g.
+    /// `sops_chains::telemetry::Instrumented::record_outcome`, or a test
+    /// harness pinning equivalence).
+    ///
+    /// The sink observes every outcome in proposal order, after the
+    /// proposal's state change (if any) has been applied. The block size is
+    /// part of the sampling schedule: runs with different `block` values
+    /// consume the RNG differently and yield different (equally exact)
+    /// trajectories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is empty or `block` is not in
+    /// `1..=MAX_BLOCK_PROPOSALS`.
+    pub fn run_batched_with<R: Rng + ?Sized>(
+        &self,
+        config: &mut Configuration,
+        steps: u64,
+        block: usize,
+        rng: &mut R,
+        mut sink: impl FnMut(StepOutcome),
+    ) -> BatchReport {
+        assert!(
+            (1..=MAX_BLOCK_PROPOSALS).contains(&block),
+            "block size {block} outside 1..={MAX_BLOCK_PROPOSALS}"
+        );
+        assert!(!config.is_empty(), "cannot step an empty configuration");
+        let particle_sampler = PreparedUniform::new(config.len() as u64);
+        let dir_sampler = PreparedUniform::new(DIRECTIONS.len() as u64);
+        let mut report = BatchReport::default();
+        let mut dirty: Vec<Node> = Vec::with_capacity(2 * block);
+        let mut scratch = BlockScratch::new();
+        let mut remaining = steps;
+        while remaining > 0 {
+            let b = remaining.min(block as u64) as usize;
+            self.propose_block(
+                config,
+                b,
+                &particle_sampler,
+                &dir_sampler,
+                rng,
+                &mut scratch,
+                &mut dirty,
+                &mut report,
+                &mut sink,
+            );
+            remaining -= b as u64;
+        }
+        report
+    }
+
+    /// Evaluates one block of `b ≤ MAX_BLOCK_PROPOSALS` proposals.
+    #[allow(clippy::too_many_arguments)]
+    fn propose_block<R: Rng + ?Sized>(
+        &self,
+        config: &mut Configuration,
+        b: usize,
+        particle_sampler: &PreparedUniform,
+        dir_sampler: &PreparedUniform,
+        rng: &mut R,
+        scratch: &mut BlockScratch,
+        dirty: &mut Vec<Node>,
+        report: &mut BatchReport,
+        sink: &mut impl FnMut(StepOutcome),
+    ) {
+        // Slice views sized to this block: one bound assertion each, so the
+        // per-lane loops below index without repeated bounds checks.
+        let particle = &mut scratch.particle[..b];
+        let dir = &mut scratch.dir[..b];
+        let from = &mut scratch.from[..b];
+        let occ = &mut scratch.occ[..b];
+        let ci_bits = &mut scratch.ci_bits[..b];
+        let cj_bits = &mut scratch.cj_bits[..b];
+        let tag = &mut scratch.tag[..b];
+        let value = &mut scratch.value[..b];
+        let mut npending = 0usize;
+        let swaps = self.swaps_enabled();
+
+        // Phases 1+2, fused — pair draws in proposal order (contract point
+        // 1) with each lane's gather against block-start state. The fusion
+        // is draw-order-neutral: this loop consumes only pair draws, whose
+        // spans are state-independent, and commits don't start until phase
+        // 5. Lanes are independent, so the probes of the whole block
+        // pipeline without the serial probe→filter→commit dependency of
+        // the sequential kernel. The 1-probe holds skip their ring gather,
+        // and guard-rejected move lanes skip their color mask, exactly
+        // like the sequential kernel.
+        for i in 0..b {
+            let p = particle_sampler.sample(rng) as usize;
+            let d = DIRECTIONS[dir_sampler.sample_usize(rng)];
+            particle[i] = p as u32;
+            dir[i] = d;
+            let f = config.position_of(p);
+            from[i] = f;
+            match config.color_at(f.neighbor(d)) {
+                None => {
+                    let ring = config.ring_gather(f, d);
+                    occ[i] = ring.occupancy;
+                    tag[i] = if ring.occupied_in(RING_FROM_SIDE) == 5 {
+                        TAG_FIVE_NEIGHBORS
+                    } else if !properties::movement_allowed_packed(ring.occupancy) {
+                        TAG_PROPERTY
+                    } else {
+                        ci_bits[i] = ring.color_mask(config.color_of(p));
+                        scratch.pending[npending] = i as u8;
+                        npending += 1;
+                        TAG_MOVE
+                    };
+                }
+                Some(qcolor) => {
+                    let ci = config.color_of(p);
+                    if qcolor == ci {
+                        tag[i] = TAG_SAME_COLOR;
+                    } else if !swaps {
+                        tag[i] = TAG_TARGET_OCCUPIED;
+                    } else {
+                        let ring = config.ring_gather(f, d);
+                        occ[i] = ring.occupancy;
+                        ci_bits[i] = ring.color_mask(ci);
+                        cj_bits[i] = ring.color_mask(qcolor);
+                        scratch.pending[npending] = i as u8;
+                        npending += 1;
+                        tag[i] = TAG_SWAP;
+                    }
+                }
+            }
+        }
+
+        // Phase 3 — every Metropolis exponent for the whole block as
+        // masked popcounts over the packed ring bytes (SWAR under `simd`).
+        // Lanes already held in phase 2 carry stale bytes; their counts
+        // are computed harmlessly and never read.
+        masked_popcounts(occ, RING_FROM_SIDE, &mut scratch.e_from[..b]);
+        masked_popcounts(occ, RING_TO_SIDE, &mut scratch.e_to[..b]);
+        masked_popcounts(ci_bits, RING_FROM_SIDE, &mut scratch.ci_from[..b]);
+        masked_popcounts(ci_bits, RING_TO_SIDE, &mut scratch.ci_to[..b]);
+        masked_popcounts(cj_bits, RING_FROM_SIDE, &mut scratch.cj_from[..b]);
+        masked_popcounts(cj_bits, RING_TO_SIDE, &mut scratch.cj_to[..b]);
+
+        // Phase 4 — table-evaluated acceptance ratios, visiting only the
+        // lanes phase 2 left pending. A stored ratio ≥ 1.0 (whether proven
+        // by `factor_certainly_ge_one` or computed numerically) means the
+        // commit pass draws nothing — exactly the sequential kernel's
+        // draw-iff-ratio-below-one rule.
+        let bias = self.bias();
+        for &iu in &scratch.pending[..npending] {
+            let i = usize::from(iu);
+            if tag[i] == TAG_MOVE {
+                let de = i32::from(scratch.e_to[i]) - i32::from(scratch.e_from[i]);
+                let dei = i32::from(scratch.ci_to[i]) - i32::from(scratch.ci_from[i]);
+                value[i] = if factor_certainly_ge_one(bias.lambda(), de)
+                    && factor_certainly_ge_one(bias.gamma(), dei)
+                {
+                    1.0
+                } else {
+                    self.tables().move_value(de, dei)
+                };
+            } else {
+                let gain = (i32::from(scratch.ci_to[i]) - i32::from(scratch.ci_from[i]))
+                    + (i32::from(scratch.cj_from[i]) - i32::from(scratch.cj_to[i]));
+                value[i] = if factor_certainly_ge_one(bias.gamma(), gain) {
+                    1.0
+                } else {
+                    self.tables().swap_value(gain)
+                };
+            }
+        }
+
+        // Phase 5 — commit in proposal order (contract point 2): lazy q
+        // draws, conflict-checked optimistic commits, sequential fallback.
+        //
+        // The pending list doubles as the block's lane classification, so
+        // the loop walks *runs* of hold lanes between consecutive pending
+        // lanes: inside a run the outcome is a table lookup on the tag —
+        // no per-lane class dispatch, no RNG, no possible acceptance — and
+        // the Metropolis machinery is touched only at the (minority)
+        // pending lanes.
+        dirty.clear();
+        let mut i = 0usize;
+        for c in 0..=npending {
+            let stop = if c < npending {
+                usize::from(scratch.pending[c])
+            } else {
+                b
+            };
+            while i < stop {
+                // Hold run. Until something is accepted `dirty` is empty
+                // and the gate is one predictable test.
+                let outcome = if !dirty.is_empty()
+                    && lane_conflicts(dirty, from[i], dir[i], tag[i])
+                {
+                    let out = self.fallback(config, particle[i] as usize, dir[i], rng, dirty);
+                    report.fallback_proposals += 1;
+                    report.accepted += u64::from(out.accepted());
+                    out
+                } else {
+                    HOLD_OUTCOMES[usize::from(tag[i])]
+                };
+                sink(outcome);
+                i += 1;
+            }
+            if c == npending {
+                break;
+            }
+            // Pending (Metropolis) lane.
+            let outcome = if !dirty.is_empty() && lane_conflicts(dirty, from[i], dir[i], tag[i])
+            {
+                let out = self.fallback(config, particle[i] as usize, dir[i], rng, dirty);
+                report.fallback_proposals += 1;
+                out
+            } else if tag[i] == TAG_MOVE {
+                if value[i] >= 1.0 || metropolis_accept(value[i], rng) {
+                    let t = from[i].neighbor(dir[i]);
+                    match config.try_move_particle(particle[i] as usize, t) {
+                        Ok(()) => {
+                            dirty.push(from[i]);
+                            dirty.push(t);
+                            StepOutcome::MoveAccepted
+                        }
+                        Err(_) => StepOutcome::InvalidStateHold,
+                    }
+                } else {
+                    StepOutcome::MoveRejectedMetropolis
+                }
+            } else if value[i] >= 1.0 || metropolis_accept(value[i], rng) {
+                let t = from[i].neighbor(dir[i]);
+                match config.try_swap(from[i], t) {
+                    Ok(()) => {
+                        dirty.push(from[i]);
+                        dirty.push(t);
+                        StepOutcome::SwapAccepted
+                    }
+                    Err(_) => StepOutcome::InvalidStateHold,
+                }
+            } else {
+                StepOutcome::SwapRejectedMetropolis
+            };
+            report.accepted += u64::from(outcome.accepted());
+            sink(outcome);
+            i += 1;
+        }
+        report.steps += b as u64;
+        report.blocks += 1;
+    }
+}
+
+/// Outcomes of the four hold tags, indexed by tag value.
+const HOLD_OUTCOMES: [StepOutcome; 4] = [
+    StepOutcome::SameColorHold,
+    StepOutcome::TargetOccupiedHold,
+    StepOutcome::MoveRejectedFiveNeighbors,
+    StepOutcome::MoveRejectedProperty,
+];
+
+impl SeparationChain {
+    /// Re-evaluates a conflicting lane through the sequential kernel
+    /// against the live state, recording any acceptance in `dirty`.
+    #[cold]
+    fn fallback<R: Rng + ?Sized>(
+        &self,
+        config: &mut Configuration,
+        p: usize,
+        d: Direction,
+        rng: &mut R,
+        dirty: &mut Vec<Node>,
+    ) -> StepOutcome {
+        let before = config.position_of(p);
+        let out = self.propose(config, p, d, rng);
+        if matches!(out, StepOutcome::MoveAccepted | StepOutcome::SwapAccepted) {
+            dirty.push(before);
+            dirty.push(before.neighbor(d));
+        }
+        out
+    }
+}
+
+/// Whether a lane's precomputed verdict may be stale: true iff an earlier
+/// in-block acceptance dirtied a node the verdict (or its commit) reads.
+///
+/// The 1-probe holds read only `{ℓ, ℓ′}` (plus the immutable per-particle
+/// color); every other lane probed its ring, so its footprint is the full
+/// 10-node pair neighborhood. A stale activated-particle position is caught
+/// through `ℓ` itself: whatever moved the particle dirtied its old node.
+#[inline]
+fn lane_conflicts(dirty: &[Node], from: Node, dir: Direction, tag: u8) -> bool {
+    if tag <= TAG_NARROW_MAX {
+        dirty.contains(&from) || dirty.contains(&from.neighbor(dir))
+    } else {
+        let fp = pair_footprint_offsets(dir);
+        fp.iter().any(|&off| dirty.contains(&(from + off)))
+    }
+}
+
+/// Per-lane popcount of `bytes[i] & mask`, dispatched to the SWAR path when
+/// the `simd` feature is enabled and the portable scalar path otherwise.
+///
+/// Both implementations are always compiled and produce identical results
+/// (cross-tested exhaustively); the feature only selects the hot-path
+/// implementation, so disabling `simd` cannot change any trajectory.
+///
+/// # Panics
+///
+/// Panics if `bytes` and `out` differ in length.
+#[inline]
+pub fn masked_popcounts(bytes: &[u8], mask: u8, out: &mut [u8]) {
+    if cfg!(feature = "simd") {
+        masked_popcounts_swar(bytes, mask, out);
+    } else {
+        masked_popcounts_scalar(bytes, mask, out);
+    }
+}
+
+/// Portable reference implementation of [`masked_popcounts`]: one
+/// `count_ones` per lane.
+pub fn masked_popcounts_scalar(bytes: &[u8], mask: u8, out: &mut [u8]) {
+    assert_eq!(bytes.len(), out.len());
+    for (byte, lane) in bytes.iter().zip(out.iter_mut()) {
+        *lane = (byte & mask).count_ones() as u8;
+    }
+}
+
+/// SWAR implementation of [`masked_popcounts`]: eight lanes per `u64`,
+/// masked with a byte-broadcast of `mask` and popcounted bytewise with the
+/// carry-free divide-and-conquer reduction (no per-byte value exceeds 8, so
+/// no stage carries across byte lanes). The remainder tail (< 8 lanes)
+/// falls through to the scalar path.
+pub fn masked_popcounts_swar(bytes: &[u8], mask: u8, out: &mut [u8]) {
+    assert_eq!(bytes.len(), out.len());
+    let wide_mask = u64::from_ne_bytes([mask; 8]);
+    let mut chunks = bytes.chunks_exact(8);
+    let mut lanes = out.chunks_exact_mut(8);
+    for (chunk, lane) in (&mut chunks).zip(&mut lanes) {
+        let word = u64::from_ne_bytes(chunk.try_into().expect("chunk of 8")) & wide_mask;
+        lane.copy_from_slice(&bytewise_popcount(word).to_ne_bytes());
+    }
+    masked_popcounts_scalar(chunks.remainder(), mask, lanes.into_remainder());
+}
+
+/// Bytewise popcount: returns a `u64` whose byte `k` holds the popcount of
+/// input byte `k`.
+#[inline]
+fn bytewise_popcount(x: u64) -> u64 {
+    const M1: u64 = 0x5555_5555_5555_5555;
+    const M2: u64 = 0x3333_3333_3333_3333;
+    const M4: u64 = 0x0f0f_0f0f_0f0f_0f0f;
+    let x = x - ((x >> 1) & M1);
+    let x = (x & M2) + ((x >> 2) & M2);
+    (x + (x >> 4)) & M4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{construct, Bias};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn swar_and_scalar_popcounts_agree_on_all_bytes_and_kernel_masks() {
+        // Exhaustive over all byte patterns × the masks the kernel uses
+        // (plus the degenerate ones), at a length exercising both the
+        // 8-lane path and the tail.
+        for mask in [RING_FROM_SIDE, RING_TO_SIDE, 0x00, 0xFF, 0b1010_1010] {
+            let bytes: Vec<u8> = (0..=255u8).chain(0..=10).collect(); // 267 = 33*8 + 3
+            let mut scalar = vec![0u8; bytes.len()];
+            let mut swar = vec![0u8; bytes.len()];
+            masked_popcounts_scalar(&bytes, mask, &mut scalar);
+            masked_popcounts_swar(&bytes, mask, &mut swar);
+            assert_eq!(scalar, swar, "mask {mask:#010b}");
+            for (b, c) in bytes.iter().zip(&scalar) {
+                assert_eq!(u32::from(*c), (b & mask).count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn bytewise_popcount_matches_per_byte_count_ones() {
+        let mut x = 0x0123_4567_89ab_cdefu64;
+        for _ in 0..1_000 {
+            // xorshift for pattern coverage
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let counts = bytewise_popcount(x).to_ne_bytes();
+            for (k, byte) in x.to_ne_bytes().iter().enumerate() {
+                assert_eq!(u32::from(counts[k]), byte.count_ones(), "byte {k} of {x:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_run_preserves_invariants_and_counts() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut config = construct::hexagonal_bicolored(30, 15).unwrap();
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        let h0 = config.hetero_edge_count();
+        let report = chain.run_batched(&mut config, 100_000, &mut rng);
+        assert_eq!(report.steps, 100_000);
+        assert_eq!(report.blocks, 100_000u64.div_ceil(DEFAULT_BLOCK_PROPOSALS as u64));
+        assert!(report.accepted > 0);
+        assert!(config.is_connected());
+        assert!(config.audit().is_consistent());
+        assert_eq!(
+            (config.edge_count(), config.hetero_edge_count()),
+            config.recount()
+        );
+        // Strong bias separates: heterogeneous edges drop.
+        assert!(config.hetero_edge_count() < h0);
+    }
+
+    #[test]
+    fn batched_sink_sees_every_outcome_in_order() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut config = construct::hexagonal_bicolored(12, 6).unwrap();
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        let mut outcomes = Vec::new();
+        let report =
+            chain.run_batched_with(&mut config, 1_000, 32, &mut rng, |o| outcomes.push(o));
+        assert_eq!(outcomes.len(), 1_000);
+        let accepted = outcomes.iter().filter(|o| o.accepted()).count() as u64;
+        assert_eq!(accepted, report.accepted);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut config = construct::hexagonal_bicolored(4, 2).unwrap();
+        let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+        chain.run_batched_with(&mut config, 10, 0, &mut rng, |_| {});
+    }
+}

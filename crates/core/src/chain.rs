@@ -2,7 +2,7 @@
 
 use rand::{Rng, RngExt as _};
 
-use sops_chains::metropolis::PowerRatio;
+use sops_chains::metropolis::{self, PowerRatio, PowerTable};
 use sops_chains::telemetry::ClassifiedChain;
 use sops_chains::MarkovChain;
 use sops_lattice::{Direction, Node, DIRECTIONS, RING_FROM_SIDE, RING_TO_SIDE};
@@ -49,13 +49,55 @@ use crate::{properties, Bias, ChainStateError, Configuration, StepOutcome};
 pub struct SeparationChain {
     bias: Bias,
     swaps: bool,
+    tables: KernelTables,
+}
+
+/// The chain's precomputed λ/γ [`PowerTable`]s — the kernels' replacement
+/// for per-accept `powi`. Every Metropolis exponent a proposal can produce
+/// lies inside the tables' exactly-covered range (move exponents in
+/// `[−5, 5]`, swap exponents in `[−10, 10]` vs. a ±12 table), so lookups are
+/// bit-identical to `PowerRatio::value()` and the table-driven kernels stay
+/// pinned to the `propose_reference` oracle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct KernelTables {
+    lambda: PowerTable,
+    gamma: PowerTable,
+}
+
+impl KernelTables {
+    fn new(bias: Bias) -> Self {
+        let tables = KernelTables {
+            lambda: PowerTable::new(bias.lambda()),
+            gamma: PowerTable::new(bias.gamma()),
+        };
+        debug_assert!(tables.lambda.audit().is_ok() && tables.gamma.audit().is_ok());
+        tables
+    }
+
+    /// `λ^{Δe} · γ^{Δe_i}` — a move's acceptance ratio, bit-identical to
+    /// `PowerRatio::new([λ, γ], [Δe, Δe_i]).value()`.
+    #[inline]
+    pub(crate) fn move_value(&self, de: i32, dei: i32) -> f64 {
+        self.lambda.pow(de) * self.gamma.pow(dei)
+    }
+
+    /// `γ^{gain}` — a swap's acceptance ratio, bit-identical to
+    /// `PowerRatio::new([γ], [gain]).value()`.
+    #[inline]
+    pub(crate) fn swap_value(&self, gain: i32) -> f64 {
+        self.gamma.pow(gain)
+    }
 }
 
 impl SeparationChain {
     /// Creates the chain with swap moves enabled (the paper's default).
     #[must_use]
     pub fn new(bias: Bias) -> Self {
-        SeparationChain { bias, swaps: true }
+        SeparationChain {
+            bias,
+            swaps: true,
+            tables: KernelTables::new(bias),
+        }
     }
 
     /// Creates the chain with swap moves disabled.
@@ -65,7 +107,38 @@ impl SeparationChain {
     /// only change neighborhoods by traveling along the boundary.
     #[must_use]
     pub fn without_swaps(bias: Bias) -> Self {
-        SeparationChain { bias, swaps: false }
+        SeparationChain {
+            bias,
+            swaps: false,
+            tables: KernelTables::new(bias),
+        }
+    }
+
+    /// The chain's power tables (for the batched engine in [`crate::batch`]).
+    #[inline]
+    pub(crate) fn tables(&self) -> &KernelTables {
+        &self.tables
+    }
+
+    /// Runs the Metropolis filter for a move with exponents `(Δe, Δe_i)`
+    /// through the power tables: certainty by sign inspection (no draw),
+    /// then `accept` on the table-evaluated ratio (draws only when the
+    /// ratio is < 1) — draw-for-draw and bit-for-bit what
+    /// `PowerRatio::new([λ, γ], [Δe, Δe_i]).accept(rng)` does, minus the
+    /// `powi` calls.
+    #[inline]
+    pub(crate) fn metropolis_move<R: Rng + ?Sized>(&self, de: i32, dei: i32, rng: &mut R) -> bool {
+        (metropolis::factor_certainly_ge_one(self.bias.lambda(), de)
+            && metropolis::factor_certainly_ge_one(self.bias.gamma(), dei))
+            || metropolis::accept(self.tables.move_value(de, dei), rng)
+    }
+
+    /// The swap counterpart of [`SeparationChain::metropolis_move`]:
+    /// equivalent to `PowerRatio::new([γ], [gain]).accept(rng)`.
+    #[inline]
+    pub(crate) fn metropolis_swap<R: Rng + ?Sized>(&self, gain: i32, rng: &mut R) -> bool {
+        metropolis::factor_certainly_ge_one(self.bias.gamma(), gain)
+            || metropolis::accept(self.tables.swap_value(gain), rng)
     }
 
     /// The bias parameters `(λ, γ)`.
@@ -189,7 +262,11 @@ impl SeparationChain {
     /// `|N(ℓ)| = 5` guard, the Property-4/5 check (a
     /// [`properties::MOVEMENT_ALLOWED`] table load), and every Metropolis
     /// exponent as a masked popcount — at most 9 probes per proposal where
-    /// the unfused path re-probes overlapping neighborhoods ~39 times. It is
+    /// the unfused path re-probes overlapping neighborhoods ~39 times. The
+    /// acceptance ratio itself comes from the chain's precomputed λ/γ power
+    /// tables ([`sops_chains::metropolis::PowerTable`]) instead of per-accept
+    /// `powi`, with lookups bit-identical to `PowerRatio::value()` over the
+    /// kernel's entire exponent range. It is
     /// RNG-stream- and state-identical to
     /// [`SeparationChain::propose_reference`], the unfused slow path kept as
     /// the testing oracle; the equivalence is pinned bit-for-bit by the
@@ -229,11 +306,7 @@ impl SeparationChain {
                 let e_new = ring.occupied_in(RING_TO_SIDE);
                 let ei = ring.colored_in(RING_FROM_SIDE, color);
                 let ei_new = ring.colored_in(RING_TO_SIDE, color);
-                let ratio = PowerRatio::new(
-                    [self.bias.lambda(), self.bias.gamma()],
-                    [e_new - e, ei_new - ei],
-                );
-                if !ratio.accept(rng) {
+                if !self.metropolis_move(e_new - e, ei_new - ei, rng) {
                     return StepOutcome::MoveRejectedMetropolis;
                 }
                 match config.try_move_particle(particle, to) {
@@ -258,8 +331,7 @@ impl SeparationChain {
                     ring.colored_in(RING_TO_SIDE, ci) - ring.colored_in(RING_FROM_SIDE, ci);
                 let gain_j =
                     ring.colored_in(RING_FROM_SIDE, qcolor) - ring.colored_in(RING_TO_SIDE, qcolor);
-                let ratio = PowerRatio::new([self.bias.gamma()], [gain_i + gain_j]);
-                if !ratio.accept(rng) {
+                if !self.metropolis_swap(gain_i + gain_j, rng) {
                     return StepOutcome::SwapRejectedMetropolis;
                 }
                 match config.try_swap(from, to) {

@@ -5,6 +5,7 @@ use core::fmt;
 use sops_lattice::{ring_offsets, Direction, Node, NodeMap, NodeSet, DIRECTIONS};
 
 use crate::error::{AuditReport, AuditViolation, ChainStateError, RepairOutcome};
+use crate::grid::{self, ColorGrid};
 use crate::{Color, ConfigError};
 
 /// Map payload: which particle sits on a node, and its color.
@@ -52,6 +53,10 @@ struct Slot {
 #[derive(Clone)]
 pub struct Configuration {
     occupancy: NodeMap<Slot>,
+    /// Dense raster cache of `occupancy` (see [`crate::grid`]); `None` when
+    /// the system is too spread out to rasterize, in which case every read
+    /// path probes the map instead.
+    grid: Option<ColorGrid>,
     positions: Vec<Node>,
     colors: Vec<Color>,
     edges: u64,
@@ -93,6 +98,7 @@ impl Configuration {
             colors.push(color);
         }
         let mut config = Configuration {
+            grid: ColorGrid::build(&particles),
             occupancy,
             positions,
             colors,
@@ -155,7 +161,13 @@ impl Configuration {
     #[inline]
     #[must_use]
     pub fn color_at(&self, node: Node) -> Option<Color> {
-        self.occupancy.get(node).map(|s| s.color)
+        match &self.grid {
+            Some(g) => {
+                let code = g.code(node);
+                (code != 0).then(|| grid::decode(code))
+            }
+            None => self.occupancy.get(node).map(|s| s.color),
+        }
     }
 
     /// The index of the particle at `node`, or `None` if unoccupied.
@@ -169,7 +181,10 @@ impl Configuration {
     #[inline]
     #[must_use]
     pub fn is_occupied(&self, node: Node) -> bool {
-        self.occupancy.contains(node)
+        match &self.grid {
+            Some(g) => g.code(node) != 0,
+            None => self.occupancy.contains(node),
+        }
     }
 
     /// Number of particles of each color class present, indexed by color id.
@@ -253,9 +268,7 @@ impl Configuration {
     pub fn occupied_neighbors(&self, node: Node) -> i32 {
         let mut count = 0;
         for d in DIRECTIONS {
-            if self.occupancy.contains(node.neighbor(d)) {
-                count += 1;
-            }
+            count += i32::from(self.is_occupied(node.neighbor(d)));
         }
         count
     }
@@ -267,7 +280,7 @@ impl Configuration {
         let mut count = 0;
         for d in DIRECTIONS {
             let m = node.neighbor(d);
-            if m != exclude && self.occupancy.contains(m) {
+            if m != exclude && self.is_occupied(m) {
                 count += 1;
             }
         }
@@ -281,11 +294,7 @@ impl Configuration {
     pub fn colored_neighbors(&self, node: Node, color: Color) -> i32 {
         let mut count = 0;
         for d in DIRECTIONS {
-            if let Some(s) = self.occupancy.get(node.neighbor(d)) {
-                if s.color == color {
-                    count += 1;
-                }
-            }
+            count += i32::from(self.color_at(node.neighbor(d)) == Some(color));
         }
         count
     }
@@ -298,13 +307,8 @@ impl Configuration {
         let mut count = 0;
         for d in DIRECTIONS {
             let m = node.neighbor(d);
-            if m == exclude {
-                continue;
-            }
-            if let Some(s) = self.occupancy.get(m) {
-                if s.color == color {
-                    count += 1;
-                }
+            if m != exclude && self.color_at(m) == Some(color) {
+                count += 1;
             }
         }
         count
@@ -327,10 +331,25 @@ impl Configuration {
     pub fn ring_gather(&self, from: Node, dir: Direction) -> RingGather {
         let mut occupancy = 0u8;
         let mut colors = [Color::C1; 8];
-        for (k, &off) in ring_offsets(dir).iter().enumerate() {
-            if let Some(c) = self.color_at(from + off) {
-                occupancy |= 1 << k;
-                colors[k] = c;
+        match &self.grid {
+            // Raster path: eight direct byte loads, no per-node branch.
+            // `decode(0)` is `C1`, exactly the placeholder the map path
+            // leaves in unoccupied lanes, so both paths return identical
+            // values bit for bit.
+            Some(g) => {
+                for (k, &off) in ring_offsets(dir).iter().enumerate() {
+                    let code = g.code(from + off);
+                    occupancy |= u8::from(code != 0) << k;
+                    colors[k] = grid::decode(code);
+                }
+            }
+            None => {
+                for (k, &off) in ring_offsets(dir).iter().enumerate() {
+                    if let Some(s) = self.occupancy.get(from + off) {
+                        occupancy |= 1 << k;
+                        colors[k] = s.color;
+                    }
+                }
             }
         }
         RingGather { occupancy, colors }
@@ -403,6 +422,11 @@ impl Configuration {
             .ok_or(ChainStateError::UnoccupiedSource(from))?;
         debug_assert_eq!(slot.index as usize, index);
         let color = slot.color;
+        // The raster must mirror the map while the particle is lifted: the
+        // neighbor counts below read through it.
+        if let Some(g) = &mut self.grid {
+            g.clear(from);
+        }
 
         // With the particle lifted off the board, plain neighbor counts at
         // `from` and `to` are exactly the edges removed and added.
@@ -423,6 +447,7 @@ impl Configuration {
                 self.hetero = hetero;
                 self.occupancy.insert(to, slot);
                 self.positions[index] = to;
+                self.grid_occupy(to, grid::encode(color));
                 Ok(())
             }
             Err(e) => {
@@ -430,6 +455,7 @@ impl Configuration {
                 // leaves the (already corrupt, but unchanged) state intact
                 // for the auditor.
                 self.occupancy.insert(from, slot);
+                self.grid_occupy(from, grid::encode(color));
                 Err(e)
             }
         }
@@ -504,7 +530,27 @@ impl Configuration {
         self.occupancy.insert(b, sa);
         self.positions[sa.index as usize] = b;
         self.positions[sb.index as usize] = a;
+        // Both nodes were occupied, hence in-raster; only the codes change.
+        self.grid_occupy(a, grid::encode(sb.color));
+        self.grid_occupy(b, grid::encode(sa.color));
         Ok(())
+    }
+
+    /// Marks `node` occupied with `code` in the raster cache, rebuilding the
+    /// raster when the node falls outside it (a particle crossed the margin)
+    /// and dropping the cache entirely if the grown system no longer
+    /// rasterizes.
+    fn grid_occupy(&mut self, node: Node, code: u8) {
+        if let Some(g) = &mut self.grid {
+            if !g.set(node, code) {
+                let particles: Vec<(Node, Color)> = self
+                    .occupancy
+                    .iter()
+                    .map(|(n, s)| (n, s.color))
+                    .collect();
+                self.grid = ColorGrid::build(&particles);
+            }
+        }
     }
 
     /// Recomputes `(e(σ), h(σ))` from scratch. Used by tests to validate the
@@ -830,6 +876,35 @@ impl Configuration {
             }
         }
 
+        // Raster cache ↔ occupancy map correspondence: every map entry's
+        // cell holds its encoded color, and no stale cell survives (the
+        // cell count matches the map). The raster is what the hot-path
+        // probes actually read, so a desync here is as corrupting as a
+        // map/table desync.
+        if let Some(g) = &self.grid {
+            for (node, slot) in self.occupancy.iter() {
+                let cell = g.code(node);
+                if cell != grid::encode(slot.color) {
+                    violations.push(AuditViolation::OccupancyDesync {
+                        node,
+                        detail: format!(
+                            "raster cell {cell} disagrees with occupancy color {:?}",
+                            slot.color
+                        ),
+                    });
+                }
+            }
+            let cells = g.occupied_cells();
+            if cells != entries {
+                violations.push(AuditViolation::OccupancyDesync {
+                    node: self.positions[0],
+                    detail: format!(
+                        "raster holds {cells} occupied cells for {entries} map entries"
+                    ),
+                });
+            }
+        }
+
         let (edges, hetero) = self.recount();
         if edges != self.edges {
             violations.push(AuditViolation::EdgeCountDrift {
@@ -950,6 +1025,23 @@ impl RingGather {
     #[must_use]
     pub fn color_at(&self, k: usize) -> Option<Color> {
         (self.occupancy & (1 << k) != 0).then(|| self.colors[k])
+    }
+
+    /// Bitmask of the occupied ring positions holding `color` — the packed
+    /// form the batched kernel stores per lane so every colored-neighbor
+    /// count becomes a masked popcount over a byte array
+    /// (`colored_in(mask, c) ≡ (color_mask(c) & mask).count_ones()`).
+    #[inline]
+    #[must_use]
+    pub fn color_mask(&self, color: Color) -> u8 {
+        let mut out = 0u8;
+        let mut bits = self.occupancy;
+        while bits != 0 {
+            let k = bits.trailing_zeros();
+            out |= u8::from(self.colors[k as usize] == color) << k;
+            bits &= bits - 1;
+        }
+        out
     }
 }
 

@@ -225,12 +225,35 @@ fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
     }
 }
 
+/// The natural logarithm of the unnormalized stationary weight of Lemma 9:
+/// `ln[(λγ)^{−p(σ)} · γ^{−h(σ)}] = −p(σ)·ln(λγ) − h(σ)·ln(γ)`.
+///
+/// This is the numerically safe form: the exponents stay in `f64` (where
+/// every reachable perimeter and hetero-count is exactly representable —
+/// no `as i32` wrap), and nothing is exponentiated, so the result is
+/// finite wherever the linear-space weight would underflow to `0` or
+/// overflow to `∞`. Use it whenever weights are compared or normalized
+/// across configurations (see [`ExactSeparationChain::lemma9_distribution`]).
+#[must_use]
+pub fn stationary_log_weight(config: &Configuration, bias: Bias) -> f64 {
+    let lg = bias.lambda() * bias.gamma();
+    -(config.perimeter() as f64) * lg.ln()
+        - (config.hetero_edge_count() as f64) * bias.gamma().ln()
+}
+
 /// The unnormalized stationary weight of Lemma 9:
-/// `(λγ)^{−p(σ)} · γ^{−h(σ)}`.
+/// `(λγ)^{−p(σ)} · γ^{−h(σ)}`, computed as
+/// `exp(`[`stationary_log_weight`]`)`.
+///
+/// On systems large enough (or biases extreme enough) that the true weight
+/// leaves `f64` range, this saturates cleanly to `0` or `∞` — it no longer
+/// wraps the exponent through `i32` (which could flip its sign for
+/// astronomically large systems) and it never produces `NaN`. Prefer
+/// [`stationary_log_weight`] for ratio or normalization arithmetic, where
+/// saturation would still lose the answer.
 #[must_use]
 pub fn stationary_weight(config: &Configuration, bias: Bias) -> f64 {
-    let lg = bias.lambda() * bias.gamma();
-    lg.powi(-(config.perimeter() as i32)) * bias.gamma().powi(-(config.hetero_edge_count() as i32))
+    stationary_log_weight(config, bias).exp()
 }
 
 /// Chain `M` on the exact state space of all connected hole-free bicolored
@@ -295,12 +318,21 @@ impl ExactSeparationChain {
 
     /// The exact stationary distribution of Lemma 9 over `matrix_states`,
     /// normalized.
+    ///
+    /// Normalization happens in log space (max-shifted exponentials —
+    /// "log-sum-exp"): the largest weight is scaled to `exp(0) = 1` before
+    /// anything is exponentiated, so the distribution stays finite and
+    /// sums to 1 even where every raw weight `(λγ)^{−p} γ^{−h}` underflows
+    /// `f64` — a regime where the naive `w / Σw` form returns `0/0 = NaN`
+    /// across the board.
     #[must_use]
     pub fn lemma9_distribution(&self, states: &[CanonicalForm]) -> Vec<f64> {
-        let weights: Vec<f64> = states
+        let logs: Vec<f64> = states
             .iter()
-            .map(|s| stationary_weight(&s.to_configuration(), self.chain.bias()))
+            .map(|s| stationary_log_weight(&s.to_configuration(), self.chain.bias()))
             .collect();
+        let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = logs.into_iter().map(|l| (l - max).exp()).collect();
         let z: f64 = weights.iter().sum();
         weights.into_iter().map(|w| w / z).collect()
     }
@@ -534,5 +566,60 @@ mod tests {
         assert!(matrix.is_irreducible());
         let pi = exact.lemma9_distribution(matrix.states());
         assert!(matrix.detailed_balance_violation(&pi) < 1e-12);
+    }
+
+    #[test]
+    fn stationary_log_weight_agrees_with_direct_powi_on_small_systems() {
+        // Where powi stays in range, exp(log weight) must reproduce it to
+        // rounding — the log form is a pure numeric hardening, not a
+        // different quantity.
+        for (lambda, gamma) in [(2.0, 3.0), (4.0, 0.9), (0.5, 0.6)] {
+            let bias = Bias::new(lambda, gamma).unwrap();
+            for shape in shapes(4) {
+                for coloring in bicolorings(&shape, 2) {
+                    let config = Configuration::new(coloring).unwrap();
+                    let lg = lambda * gamma;
+                    let direct = lg.powi(-(config.perimeter() as i32))
+                        * gamma.powi(-(config.hetero_edge_count() as i32));
+                    let via_log = stationary_weight(&config, bias);
+                    assert!(
+                        (via_log - direct).abs() <= 1e-12 * direct.abs(),
+                        "λ={lambda} γ={gamma}: {via_log} vs {direct}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma9_distribution_is_finite_where_linear_weights_underflow() {
+        // A 200-particle line has perimeter 2n − 2 = 398, so
+        // (λγ)^{−p} = 16^{−398} underflows f64 entirely: the naive
+        // weight/Σweight normalization returns 0/0 = NaN for every state.
+        // The log-space form must still rank the two colorings correctly.
+        let bias = Bias::new(4.0, 4.0).unwrap();
+        let nodes = crate::construct::line_nodes(200);
+        let halves =
+            Configuration::new(crate::construct::bicolor_halves(nodes.clone(), 100)).unwrap();
+        let stripes = Configuration::new(crate::construct::bicolor_alternating(nodes)).unwrap();
+        assert!(stripes.hetero_edge_count() > halves.hetero_edge_count());
+
+        // The linear-space weights saturate (documented behavior)...
+        assert_eq!(stationary_weight(&halves, bias), 0.0);
+        assert_eq!(stationary_weight(&stripes, bias), 0.0);
+        // ...but the log weights stay finite and ordered,
+        let lw_halves = stationary_log_weight(&halves, bias);
+        let lw_stripes = stationary_log_weight(&stripes, bias);
+        assert!(lw_halves.is_finite() && lw_stripes.is_finite());
+        assert!(lw_halves > lw_stripes);
+        // ...and the normalized distribution is a real distribution that
+        // puts almost all mass on the separated coloring.
+        let chain = SeparationChain::new(bias);
+        let exact = ExactSeparationChain::new(chain, 200, 100);
+        let states = [halves.canonical_form(), stripes.canonical_form()];
+        let pi = exact.lemma9_distribution(&states);
+        assert!(pi.iter().all(|p| p.is_finite()), "NaN regression: {pi:?}");
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pi[0] > 0.999_999);
     }
 }

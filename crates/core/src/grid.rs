@@ -1,0 +1,225 @@
+//! Dense occupancy/color raster backing the proposal hot path.
+//!
+//! The chain's inner loop is dominated by *"what, if anything, occupies
+//! node `ℓ`?"* probes: one per activation for the hold outcomes, eight per
+//! [`crate::Configuration::ring_gather`]. Against the open-addressing
+//! [`sops_lattice::NodeMap`] each probe is a hash, a masked index, and a
+//! tag-plus-key compare with a data-dependent branch; against this raster
+//! it is two subtractions, two unsigned range checks, and a byte load from
+//! a few-KiB array that lives in L1 for realistic system sizes.
+//!
+//! The raster is a pure cache of the occupancy map: cell `0` means
+//! unoccupied, cell `c > 0` means a particle of color index `c − 1`. It
+//! covers the configuration's bounding box plus a [`MARGIN`]-cell border,
+//! so a drifting configuration only forces a rebuild after `MARGIN` net
+//! outward steps; a configuration too spread out to rasterize under
+//! [`MAX_CELLS`] simply runs without a grid (every read path keeps its
+//! map-probing fallback, and [`crate::Configuration::audit`] cross-checks
+//! the raster against the map whenever one is present).
+
+use sops_lattice::Node;
+
+use crate::Color;
+
+/// Hard cap on raster cells (4 MiB of `u8`): beyond this the cache costs
+/// more in memory traffic and clone time than its probes save.
+const MAX_CELLS: u64 = 1 << 22;
+
+/// Unoccupied border kept around the bounding box so boundary moves stay
+/// in-raster; a rebuild is needed only every `MARGIN` net outward steps.
+const MARGIN: i64 = 32;
+
+/// The dense raster. See the module docs for the cell encoding.
+#[derive(Clone, Debug)]
+pub(crate) struct ColorGrid {
+    min_x: i32,
+    min_y: i32,
+    width: u32,
+    height: u32,
+    cells: Vec<u8>,
+}
+
+/// The cell encoding of an occupying color.
+#[inline]
+pub(crate) fn encode(color: Color) -> u8 {
+    // Index u8::MAX (unencodable: code would wrap to "empty") is rejected
+    // at build time, so the increment cannot overflow here.
+    color.index() + 1
+}
+
+/// The color encoded by a non-zero cell. For cell `0` this returns
+/// `Color::C1`, matching the placeholder the map-probing paths leave in
+/// never-read color lanes — callers must gate on occupancy, not color.
+#[inline]
+pub(crate) fn decode(code: u8) -> Color {
+    Color::new(code.saturating_sub(1))
+}
+
+impl ColorGrid {
+    /// Rasterizes `particles`, or returns `None` when the system cannot be
+    /// cached: an empty list, a color index of `u8::MAX` (unencodable), a
+    /// bounding box beyond [`MAX_CELLS`], or margins that would leave
+    /// `i32` coordinate range.
+    pub(crate) fn build(particles: &[(Node, Color)]) -> Option<Self> {
+        let (&(first, _), rest) = particles.split_first()?;
+        let mut min_x = i64::from(first.x);
+        let mut max_x = min_x;
+        let mut min_y = i64::from(first.y);
+        let mut max_y = min_y;
+        for &(node, color) in particles {
+            if color.index() == u8::MAX {
+                return None;
+            }
+            min_x = min_x.min(i64::from(node.x));
+            max_x = max_x.max(i64::from(node.x));
+            min_y = min_y.min(i64::from(node.y));
+            max_y = max_y.max(i64::from(node.y));
+        }
+        let _ = rest;
+        let min_x = min_x - MARGIN;
+        let min_y = min_y - MARGIN;
+        let width = max_x + MARGIN + 1 - min_x;
+        let height = max_y + MARGIN + 1 - min_y;
+        if width as u64 * height as u64 > MAX_CELLS {
+            return None;
+        }
+        if min_x < i64::from(i32::MIN)
+            || min_y < i64::from(i32::MIN)
+            || max_x + MARGIN > i64::from(i32::MAX)
+            || max_y + MARGIN > i64::from(i32::MAX)
+        {
+            return None;
+        }
+        let mut grid = ColorGrid {
+            min_x: min_x as i32,
+            min_y: min_y as i32,
+            width: width as u32,
+            height: height as u32,
+            cells: vec![0; (width * height) as usize],
+        };
+        for &(node, color) in particles {
+            let ok = grid.set(node, encode(color));
+            debug_assert!(ok, "bounding-box cell {node} out of its own raster");
+        }
+        Some(grid)
+    }
+
+    /// The cell index of `node`, when it lies inside the raster.
+    ///
+    /// The `wrapping_sub` + unsigned compare folds both range checks into
+    /// one per axis: any `i32` pair's true difference fits `u32` exactly,
+    /// and negative differences wrap far above any admissible width.
+    #[inline]
+    fn index(&self, node: Node) -> Option<usize> {
+        let dx = node.x.wrapping_sub(self.min_x) as u32;
+        let dy = node.y.wrapping_sub(self.min_y) as u32;
+        if dx < self.width && dy < self.height {
+            Some(dy as usize * self.width as usize + dx as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The cell at `node`: `0` for unoccupied *or out-of-raster* nodes
+    /// (everything outside the raster is unoccupied by construction).
+    #[inline]
+    pub(crate) fn code(&self, node: Node) -> u8 {
+        match self.index(node) {
+            Some(i) => self.cells[i],
+            None => 0,
+        }
+    }
+
+    /// Writes `code` at `node`; `false` means the node lies outside the
+    /// raster and the caller must rebuild.
+    #[inline]
+    pub(crate) fn set(&mut self, node: Node, code: u8) -> bool {
+        match self.index(node) {
+            Some(i) => {
+                self.cells[i] = code;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears the cell at `node` (a no-op outside the raster, where every
+    /// node is already unoccupied).
+    #[inline]
+    pub(crate) fn clear(&mut self, node: Node) {
+        if let Some(i) = self.index(node) {
+            self.cells[i] = 0;
+        }
+    }
+
+    /// Number of occupied cells — the audit's cheap "no stale particle
+    /// left behind" cross-check against the occupancy map's length.
+    pub(crate) fn occupied_cells(&self) -> usize {
+        self.cells.iter().filter(|&&c| c != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_probes_and_mutation_roundtrip() {
+        let particles = vec![
+            (Node::new(0, 0), Color::C1),
+            (Node::new(3, -2), Color::C2),
+            (Node::new(-1, 4), Color::C3),
+        ];
+        let mut grid = ColorGrid::build(&particles).expect("small system rasterizes");
+        for &(node, color) in &particles {
+            assert_eq!(grid.code(node), encode(color));
+            assert_eq!(decode(grid.code(node)), color);
+        }
+        assert_eq!(grid.code(Node::new(1, 1)), 0);
+        // Far outside the raster: unoccupied, no panic.
+        assert_eq!(grid.code(Node::new(1_000_000, -1_000_000)), 0);
+        assert_eq!(grid.occupied_cells(), 3);
+
+        grid.clear(Node::new(0, 0));
+        assert!(grid.set(Node::new(1, 0), encode(Color::C1)));
+        assert_eq!(grid.code(Node::new(0, 0)), 0);
+        assert_eq!(grid.code(Node::new(1, 0)), encode(Color::C1));
+        assert_eq!(grid.occupied_cells(), 3);
+
+        // Within the margin: settable; far past it: rejected.
+        assert!(grid.set(Node::new(3 + 10, 0), 1));
+        assert!(!grid.set(Node::new(3 + 1000, 0), 1));
+    }
+
+    #[test]
+    fn build_rejects_uncacheable_systems() {
+        assert!(ColorGrid::build(&[]).is_none());
+        // Unencodable color index.
+        assert!(ColorGrid::build(&[(Node::new(0, 0), Color::new(u8::MAX))]).is_none());
+        // Bounding box past the cell cap.
+        let sparse = vec![
+            (Node::new(0, 0), Color::C1),
+            (Node::new(1 << 20, 1 << 20), Color::C2),
+        ];
+        assert!(ColorGrid::build(&sparse).is_none());
+        // Margin would leave i32 range.
+        let edge = vec![(Node::new(i32::MAX, 0), Color::C1)];
+        assert!(ColorGrid::build(&edge).is_none());
+        // Compact systems anywhere in range still rasterize.
+        let shifted = vec![
+            (Node::new(500_000_000, -500_000_000), Color::C1),
+            (Node::new(500_000_001, -500_000_000), Color::C2),
+        ];
+        assert!(ColorGrid::build(&shifted).is_some());
+    }
+
+    #[test]
+    fn margin_absorbs_drift_up_to_its_width() {
+        let mut grid = ColorGrid::build(&[(Node::new(0, 0), Color::C1)]).unwrap();
+        // All nodes within MARGIN of the box are in-raster.
+        let m = MARGIN as i32;
+        assert!(grid.set(Node::new(m, 0), 1));
+        assert!(grid.set(Node::new(0, -m), 1));
+        assert!(!grid.set(Node::new(m + 1, 0), 1));
+    }
+}

@@ -58,18 +58,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod chain;
 mod color;
 mod config;
 pub mod construct;
 pub mod enumerate;
 mod error;
+mod grid;
 mod outcome;
 mod params;
 pub mod properties;
 pub mod reconfigure;
 mod snapshot;
 
+pub use batch::{BatchReport, DEFAULT_BLOCK_PROPOSALS, MAX_BLOCK_PROPOSALS};
 pub use chain::{CompressionChain, SeparationChain};
 pub use color::Color;
 pub use config::{CanonicalForm, Configuration, RingGather};

@@ -1,0 +1,120 @@
+//! Ad-hoc timing probes for the batched engine (ignored by default; run
+//! with `cargo test --release -p sops-core --test batch_timing -- --ignored
+//! --nocapture` to print a per-piece cost breakdown).
+
+use rand::rngs::StdRng;
+use rand::{PreparedUniform, RngExt, SeedableRng};
+use sops_core::{construct, Bias, SeparationChain};
+use sops_lattice::DIRECTIONS;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn timing_breakdown() {
+    let n = 100usize;
+    let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+    let mut config = construct::hexagonal_bicolored(n, n / 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    use sops_chains::MarkovChain;
+    chain.run(&mut config, 2_000_000, &mut rng);
+
+    const N: u64 = 20_000_000;
+    let mut rng = StdRng::seed_from_u64(1);
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..N {
+        acc ^= rng.random_range(0..n) as u64;
+        acc ^= rng.random_range(0..6usize) as u64;
+    }
+    black_box(acc);
+    println!("random_range pair: {:.2} ns", t.elapsed().as_nanos() as f64 / N as f64);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let ps = PreparedUniform::new(n as u64);
+    let ds = PreparedUniform::new(6);
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..N {
+        acc ^= ps.sample(&mut rng);
+        acc ^= ds.sample(&mut rng);
+    }
+    black_box(acc);
+    println!("prepared pair:     {:.2} ns", t.elapsed().as_nanos() as f64 / N as f64);
+
+    // Steady-state batched run with fallback stats.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut c = config.clone();
+    let t = Instant::now();
+    let report = chain.run_batched(&mut c, 4_000_000, &mut rng);
+    println!(
+        "run_batched:       {:.2} ns/step  (accepted {:.3}%, fallback {:.3}%)",
+        t.elapsed().as_nanos() as f64 / 4e6,
+        report.accepted as f64 / 4e4,
+        report.fallback_proposals as f64 / 4e4,
+    );
+
+    for block in [16usize, 32, 48, 64] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = config.clone();
+        let t = Instant::now();
+        chain.run_batched_with(&mut c, 4_000_000, block, &mut rng, |_| {});
+        println!(
+            "  block {block:>2}: {:.2} ns/step",
+            t.elapsed().as_nanos() as f64 / 4e6
+        );
+    }
+
+    // Primitive costs: the 1-probe hold path and the 8-probe ring gather.
+    let mut rng = StdRng::seed_from_u64(5);
+    let ps = PreparedUniform::new(n as u64);
+    let ds = PreparedUniform::new(6);
+    let t = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..N {
+        let p = ps.sample_usize(&mut rng);
+        let d = DIRECTIONS[ds.sample_usize(&mut rng)];
+        let f = config.position_of(p);
+        let to = f.neighbor(d);
+        if let Some(c) = config.color_at(to) {
+            acc ^= u64::from(c == config.color_of(p));
+        }
+    }
+    black_box(acc);
+    println!("hold-lane primitive: {:.2} ns", t.elapsed().as_nanos() as f64 / N as f64);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let t = Instant::now();
+    let mut acc = 0u64;
+    const NG: u64 = 5_000_000;
+    for _ in 0..NG {
+        let p = ps.sample_usize(&mut rng);
+        let d = DIRECTIONS[ds.sample_usize(&mut rng)];
+        let f = config.position_of(p);
+        acc ^= u64::from(config.ring_gather(f, d).occupancy);
+    }
+    black_box(acc);
+    println!("draw+gather:         {:.2} ns", t.elapsed().as_nanos() as f64 / NG as f64);
+
+    // Outcome histogram at steady state (lane-mix for optimization).
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut c = config.clone();
+    let mut hist = std::collections::BTreeMap::new();
+    chain.run_batched_with(&mut c, 1_000_000, 64, &mut rng, |o| {
+        *hist.entry(format!("{o:?}")).or_insert(0u64) += 1;
+    });
+    for (k, v) in &hist {
+        println!("  {k:<28} {:.2}%", *v as f64 / 1e4);
+    }
+
+    // Sequential fused for reference.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut c = config.clone();
+    let t = Instant::now();
+    for _ in 0..4_000_000u64 {
+        let p = rng.random_range(0..c.len());
+        let d = DIRECTIONS[rng.random_range(0..6usize)];
+        black_box(chain.propose(&mut c, p, d, &mut rng));
+    }
+    println!("sequential fused:  {:.2} ns/step", t.elapsed().as_nanos() as f64 / 4e6);
+}

@@ -55,7 +55,10 @@ pub use direction::Direction;
 pub use edge::Edge;
 pub use map::{NodeMap, NodeSet};
 pub use node::Node;
-pub use ring::{ring_offsets, RING_COMMON, RING_FROM_SIDE, RING_OFFSETS, RING_TO_SIDE};
+pub use ring::{
+    pair_footprint_offsets, ring_offsets, PAIR_FOOTPRINT_OFFSETS, RING_COMMON, RING_FROM_SIDE,
+    RING_OFFSETS, RING_TO_SIDE,
+};
 
 /// All six lattice directions in counterclockwise order starting from `E`.
 ///

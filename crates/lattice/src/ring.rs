@@ -97,6 +97,42 @@ pub fn ring_offsets(dir: Direction) -> &'static [Node; 8] {
     &RING_OFFSETS[dir.index()]
 }
 
+const fn build_pair_footprints() -> [[Node; 10]; 6] {
+    let mut table = [[Node::ORIGIN; 10]; 6];
+    let mut d = 0;
+    while d < 6 {
+        let ring = RING_OFFSETS[d];
+        let mut k = 0;
+        while k < 8 {
+            table[d][k] = ring[k];
+            k += 1;
+        }
+        table[d][8] = Node::ORIGIN;
+        table[d][9] = Node::ORIGIN.neighbor(Direction::from_index(d));
+        d += 1;
+    }
+    table
+}
+
+/// Offsets (from `ℓ`) of the full *footprint* of a proposal `(ℓ, d)`: the
+/// eight ring nodes plus the pair `ℓ, ℓ′` themselves — every lattice node
+/// whose occupancy or color any part of the proposal (guards, Metropolis
+/// exponents, counter updates) can read, and every node an accepted move or
+/// swap can change.
+///
+/// The batched kernel's conflict check is built on this: a proposal
+/// evaluated against block-start state is still exact as long as no earlier
+/// in-block acceptance dirtied a node of its footprint.
+pub static PAIR_FOOTPRINT_OFFSETS: [[Node; 10]; 6] = build_pair_footprints();
+
+/// The footprint offsets for pairs oriented along `dir` (ring nodes at
+/// indices 0–7, then `ℓ` itself, then `ℓ′`).
+#[inline]
+#[must_use]
+pub fn pair_footprint_offsets(dir: Direction) -> &'static [Node; 10] {
+    &PAIR_FOOTPRINT_OFFSETS[dir.index()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +168,29 @@ mod tests {
                 assert!(!node.is_adjacent(ring[(i + 2) % 8]), "chord {dir} at {i}");
                 assert_ne!(node, Node::ORIGIN);
                 assert_ne!(node, to);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_footprint_is_ring_plus_pair_and_covers_both_neighborhoods() {
+        for dir in DIRECTIONS {
+            let fp = pair_footprint_offsets(dir);
+            let to = Node::ORIGIN.neighbor(dir);
+            assert_eq!(&fp[..8], ring_offsets(dir).as_slice());
+            assert_eq!(fp[8], Node::ORIGIN);
+            assert_eq!(fp[9], to);
+            // All ten nodes distinct.
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    assert_ne!(fp[i], fp[j], "{dir}: duplicate at {i},{j}");
+                }
+            }
+            // Every lattice neighbor of ℓ and of ℓ′ is in the footprint —
+            // nothing a proposal can probe escapes the conflict check.
+            for d in DIRECTIONS {
+                assert!(fp.contains(&Node::ORIGIN.neighbor(d)), "{dir}: N(ℓ) via {d}");
+                assert!(fp.contains(&to.neighbor(d)), "{dir}: N(ℓ′) via {d}");
             }
         }
     }

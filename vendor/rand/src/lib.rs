@@ -107,6 +107,77 @@ fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
     }
 }
 
+/// A uniform sampler over `[0, span)` with all division hoisted out of the
+/// per-draw path (Lemire's widening-multiply rejection method).
+///
+/// [`RngExt::random_range`] rejection-samples with a `u64::MAX / span`
+/// division and a `% span` reduction on **every** draw. When the same span
+/// is sampled millions of times — the batched proposal kernel draws a
+/// particle index and a direction per proposal — those divisions dominate.
+/// `PreparedUniform` pays one `%` at construction (the rejection threshold
+/// `2^64 mod span`) and each draw is then a widening multiply plus a
+/// compare.
+///
+/// The sampler is exactly uniform (unbiased): `(x·span) >> 64` maps the
+/// `2^64` inputs onto `[0, span)` with each value hit either
+/// `⌊2^64/span⌋` or `⌈2^64/span⌉` times, and rejecting low fractional
+/// parts below `2^64 mod span` trims every bucket to exactly
+/// `⌊2^64/span⌋`. Rejection probability is `span/2^64` per iteration —
+/// negligible for the small spans the kernels use.
+///
+/// Note the output stream **differs** from [`RngExt::random_range`] for the
+/// same RNG state (different reduction function): callers choosing between
+/// the two fix a draw contract, they don't get interchangeable bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PreparedUniform {
+    span: u64,
+    /// `2^64 mod span` — draws whose widening-multiply low word falls below
+    /// this are the overrepresented remainder and get rejected.
+    threshold: u64,
+}
+
+impl PreparedUniform {
+    /// Prepares a sampler for `[0, span)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    #[must_use]
+    pub fn new(span: u64) -> Self {
+        assert!(span > 0, "cannot sample an empty range");
+        PreparedUniform {
+            span,
+            threshold: span.wrapping_neg() % span,
+        }
+    }
+
+    /// The exclusive upper bound.
+    #[inline]
+    #[must_use]
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// Draws a uniform value in `[0, span)`, consuming at least one
+    /// `next_u64` (more only on the `span/2^64`-probability rejection).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let m = u128::from(rng.next_u64()) * u128::from(self.span);
+            if (m as u64) >= self.threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// [`PreparedUniform::sample`] narrowed to `usize` (spans constructed
+    /// from `usize` always fit back).
+    #[inline]
+    pub fn sample_usize<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample(rng) as usize
+    }
+}
+
 /// A range of values that [`RngExt::random_range`] can sample from.
 pub trait SampleRange<T> {
     /// Draws a uniform value from the range.
@@ -435,5 +506,73 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(6);
         assert!(draw(&mut rng) < 10);
+    }
+
+    #[test]
+    fn prepared_uniform_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for span in [1u64, 2, 3, 6, 7, 100, 255, 256, 1 << 33] {
+            let u = super::PreparedUniform::new(span);
+            assert_eq!(u.span(), span);
+            let mut seen = vec![false; span.min(100) as usize];
+            for _ in 0..5_000 {
+                let v = u.sample(&mut rng);
+                assert!(v < span, "span {span} produced {v}");
+                if (v as usize) < seen.len() {
+                    seen[v as usize] = true;
+                }
+            }
+            if span <= 100 {
+                assert!(seen.iter().all(|&s| s), "span {span} missed a value");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_uniform_is_deterministic_and_unbiased() {
+        // Determinism: same seed, same stream.
+        let u = super::PreparedUniform::new(6);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(12);
+            (0..100).map(|_| u.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(12);
+            (0..100).map(|_| u.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        // Uniformity: chi-square over 6 buckets, 120k draws. With 5 dof
+        // the 99.9th percentile is ~20.5; use 30 for slack.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = [0u64; 6];
+        let n = 120_000;
+        for _ in 0..n {
+            counts[u.sample(&mut rng) as usize] += 1;
+        }
+        let expected = n as f64 / 6.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 30.0, "chi2 = {chi2}, counts = {counts:?}");
+    }
+
+    #[test]
+    fn prepared_uniform_threshold_matches_rejection_definition() {
+        // threshold must equal 2^64 mod span; cross-check via u128.
+        for span in [3u64, 6, 7, 100, (1 << 33) - 1, u64::MAX / 2 + 1] {
+            let u = super::PreparedUniform::new(span);
+            let expected = ((1u128 << 64) % u128::from(span)) as u64;
+            assert_eq!(u, super::PreparedUniform { span, threshold: expected });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn prepared_uniform_rejects_zero_span() {
+        let _ = super::PreparedUniform::new(0);
     }
 }
