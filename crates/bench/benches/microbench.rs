@@ -85,20 +85,36 @@ fn seeded_config(n: usize) -> Configuration {
 struct Throughput {
     n: usize,
     swaps: bool,
-    /// `"sequential"` ([`MarkovChain::step`]) or `"batched"`
-    /// ([`SeparationChain::run_batched`]); consumers treating the field as
+    /// `"sequential"` ([`MarkovChain::step`]), `"batched"`
+    /// ([`SeparationChain::run_batched`]), or `"parallel"`
+    /// ([`SeparationChain::run_parallel`]); consumers treating the field as
     /// optional (e.g. older `perf_guard` baselines) default to sequential.
     kernel: &'static str,
+    /// Worker threads (always 1 for the single-threaded kernels).
+    threads: usize,
     ns_per_step: f64,
 }
 
+/// The worker-thread counts benchmarked for the `parallel` kernel: 1
+/// (contract-equivalent to sequential, measures engine overhead), 2 (the
+/// smallest genuinely sharded schedule), and whatever parallelism the host
+/// actually offers, deduplicated.
+fn bench_thread_counts() -> Vec<usize> {
+    let avail = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut counts = vec![1, 2, avail];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
 fn bench_chain_step() -> Vec<Throughput> {
-    // The batched engine's per-step cost is only meaningful amortized over
-    // whole blocks, so its bench body runs a fixed step count per
-    // iteration and divides. The count is large enough that the per-call
-    // setup (scratch allocation, sampler construction) vanishes into the
-    // per-step figure instead of inflating it.
-    const BATCHED_STEPS: u64 = 4096;
+    // The batched and parallel engines' per-step cost is only meaningful
+    // amortized over whole blocks/rounds, so their bench bodies run a
+    // fixed step count per iteration and divide. The count is large
+    // enough that the per-call setup (scratch allocation, sampler
+    // construction, round planning) vanishes into the per-step figure
+    // instead of inflating it.
+    const BULK_STEPS: u64 = 4096;
     let mut rows = Vec::new();
     for n in [25usize, 100, 400] {
         for swaps in [true, false] {
@@ -117,19 +133,38 @@ fn bench_chain_step() -> Vec<Throughput> {
                 n,
                 swaps,
                 kernel: "sequential",
+                threads: 1,
                 ns_per_step: ns,
             });
             let mut config = seeded_config(n);
             let mut rng = StdRng::seed_from_u64(1);
             let ns = bench(&format!("chain_step_batched/{label}/{n}"), || {
-                black_box(chain.run_batched(&mut config, BATCHED_STEPS, &mut rng));
-            }) / BATCHED_STEPS as f64;
+                black_box(chain.run_batched(&mut config, BULK_STEPS, &mut rng));
+            }) / BULK_STEPS as f64;
             rows.push(Throughput {
                 n,
                 swaps,
                 kernel: "batched",
+                threads: 1,
                 ns_per_step: ns,
             });
+            for threads in bench_thread_counts() {
+                let mut config = seeded_config(n);
+                let mut rng = StdRng::seed_from_u64(1);
+                let ns = bench(
+                    &format!("chain_step_parallel/{label}/{n}/t{threads}"),
+                    || {
+                        black_box(chain.run_parallel(&mut config, BULK_STEPS, threads, &mut rng));
+                    },
+                ) / BULK_STEPS as f64;
+                rows.push(Throughput {
+                    n,
+                    swaps,
+                    kernel: "parallel",
+                    threads,
+                    ns_per_step: ns,
+                });
+            }
         }
     }
     rows
@@ -274,11 +309,12 @@ fn write_bench_chain_json(throughput: &[Throughput], overhead: &OverheadBaseline
     json.push_str("  \"throughput\": [\n");
     for (i, row) in throughput.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"n\": {}, \"swaps\": {}, \"kernel\": \"{}\", \"ns_per_step\": {}, \
-             \"steps_per_sec\": {}}}{}\n",
+            "    {{\"n\": {}, \"swaps\": {}, \"kernel\": \"{}\", \"threads\": {}, \
+             \"ns_per_step\": {}, \"steps_per_sec\": {}}}{}\n",
             row.n,
             row.swaps,
             row.kernel,
+            row.threads,
             json_f64(row.ns_per_step),
             json_f64(1e9 / row.ns_per_step),
             if i + 1 < throughput.len() { "," } else { "" },

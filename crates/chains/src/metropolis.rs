@@ -160,8 +160,7 @@ impl PowerTable {
         let mut e = -POWER_TABLE_EXPONENT_MAX;
         while e <= POWER_TABLE_EXPONENT_MAX {
             let raw = base.powi(e);
-            pow[(e + POWER_TABLE_EXPONENT_MAX) as usize] =
-                raw.clamp(f64::MIN_POSITIVE, f64::MAX);
+            pow[(e + POWER_TABLE_EXPONENT_MAX) as usize] = raw.clamp(f64::MIN_POSITIVE, f64::MAX);
             e += 1;
         }
         PowerTable { base, pow }
@@ -179,8 +178,8 @@ impl PowerTable {
     #[inline]
     #[must_use]
     pub fn pow(&self, e: i32) -> f64 {
-        let i = e.clamp(-POWER_TABLE_EXPONENT_MAX, POWER_TABLE_EXPONENT_MAX)
-            + POWER_TABLE_EXPONENT_MAX;
+        let i =
+            e.clamp(-POWER_TABLE_EXPONENT_MAX, POWER_TABLE_EXPONENT_MAX) + POWER_TABLE_EXPONENT_MAX;
         self.pow[i as usize]
     }
 
@@ -315,13 +314,14 @@ impl<const K: usize> WeightAccumulator<K> {
     pub fn record(&mut self, deltas: [i32; K]) -> Result<(), ExponentOverflow> {
         let mut updated = self.exponents;
         for k in 0..K {
-            updated[k] = self.exponents[k].checked_add(i64::from(deltas[k])).ok_or(
-                ExponentOverflow {
-                    base: k,
-                    accumulated: self.exponents[k],
-                    delta: i64::from(deltas[k]),
-                },
-            )?;
+            updated[k] =
+                self.exponents[k]
+                    .checked_add(i64::from(deltas[k]))
+                    .ok_or(ExponentOverflow {
+                        base: k,
+                        accumulated: self.exponents[k],
+                        delta: i64::from(deltas[k]),
+                    })?;
         }
         self.exponents = updated;
         Ok(())
@@ -494,8 +494,10 @@ mod tests {
     #[test]
     fn weight_accumulator_tracks_ratio_exponents() {
         let mut acc = WeightAccumulator::new([4.0, 2.0]);
-        acc.record_ratio(&PowerRatio::new([4.0, 2.0], [1, -2])).unwrap();
-        acc.record_ratio(&PowerRatio::new([4.0, 2.0], [3, 5])).unwrap();
+        acc.record_ratio(&PowerRatio::new([4.0, 2.0], [1, -2]))
+            .unwrap();
+        acc.record_ratio(&PowerRatio::new([4.0, 2.0], [3, 5]))
+            .unwrap();
         assert_eq!(acc.exponents(), [4, 3]);
         let expected = 4.0 * 4.0f64.ln() + 3.0 * 2.0f64.ln();
         assert!((acc.ln_weight() - expected).abs() < 1e-12);
@@ -533,10 +535,9 @@ mod tests {
     fn weight_accumulator_survives_billion_step_scale() {
         // The i32 wrap this type exists to prevent: 2^31 steps of +2 per
         // step exceeds i32 range but accumulates exactly in i64.
-        let mut acc = WeightAccumulator::new([4.0]);
         let per_step = 2i64;
         let steps = 2_000_000_000i64;
-        acc = WeightAccumulator::from_parts([4.0], [per_step * (steps - 1)]);
+        let mut acc = WeightAccumulator::from_parts([4.0], [per_step * (steps - 1)]);
         acc.record([2]).unwrap();
         assert_eq!(acc.exponents()[0], per_step * steps);
         assert!(i32::try_from(acc.exponents()[0]).is_err());

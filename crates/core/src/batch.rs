@@ -359,8 +359,7 @@ impl SeparationChain {
             while i < stop {
                 // Hold run. Until something is accepted `dirty` is empty
                 // and the gate is one predictable test.
-                let outcome = if !dirty.is_empty()
-                    && lane_conflicts(dirty, from[i], dir[i], tag[i])
+                let outcome = if !dirty.is_empty() && lane_conflicts(dirty, from[i], dir[i], tag[i])
                 {
                     let out = self.fallback(config, particle[i] as usize, dir[i], rng, dirty);
                     report.fallback_proposals += 1;
@@ -376,8 +375,7 @@ impl SeparationChain {
                 break;
             }
             // Pending (Metropolis) lane.
-            let outcome = if !dirty.is_empty() && lane_conflicts(dirty, from[i], dir[i], tag[i])
-            {
+            let outcome = if !dirty.is_empty() && lane_conflicts(dirty, from[i], dir[i], tag[i]) {
                 let out = self.fallback(config, particle[i] as usize, dir[i], rng, dirty);
                 report.fallback_proposals += 1;
                 out
@@ -556,7 +554,11 @@ mod tests {
             x ^= x << 17;
             let counts = bytewise_popcount(x).to_ne_bytes();
             for (k, byte) in x.to_ne_bytes().iter().enumerate() {
-                assert_eq!(u32::from(counts[k]), byte.count_ones(), "byte {k} of {x:#x}");
+                assert_eq!(
+                    u32::from(counts[k]),
+                    byte.count_ones(),
+                    "byte {k} of {x:#x}"
+                );
             }
         }
     }
@@ -569,7 +571,10 @@ mod tests {
         let h0 = config.hetero_edge_count();
         let report = chain.run_batched(&mut config, 100_000, &mut rng);
         assert_eq!(report.steps, 100_000);
-        assert_eq!(report.blocks, 100_000u64.div_ceil(DEFAULT_BLOCK_PROPOSALS as u64));
+        assert_eq!(
+            report.blocks,
+            100_000u64.div_ceil(DEFAULT_BLOCK_PROPOSALS as u64)
+        );
         assert!(report.accepted > 0);
         assert!(config.is_connected());
         assert!(config.audit().is_consistent());
@@ -587,8 +592,7 @@ mod tests {
         let mut config = construct::hexagonal_bicolored(12, 6).unwrap();
         let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
         let mut outcomes = Vec::new();
-        let report =
-            chain.run_batched_with(&mut config, 1_000, 32, &mut rng, |o| outcomes.push(o));
+        let report = chain.run_batched_with(&mut config, 1_000, 32, &mut rng, |o| outcomes.push(o));
         assert_eq!(outcomes.len(), 1_000);
         let accepted = outcomes.iter().filter(|o| o.accepted()).count() as u64;
         assert_eq!(accepted, report.accepted);

@@ -61,6 +61,10 @@ pub struct Configuration {
     colors: Vec<Color>,
     edges: u64,
     hetero: u64,
+    /// Number of raster rebuilds forced by a particle crossing the margin
+    /// (see [`crate::grid`]'s anti-thrash policy); cheap drift telemetry
+    /// and the regression hook for the rebuild-hysteresis tests.
+    raster_rebuilds: u64,
 }
 
 impl Configuration {
@@ -104,6 +108,7 @@ impl Configuration {
             colors,
             edges: 0,
             hetero: 0,
+            raster_rebuilds: 0,
         };
         let (e, h) = config.recount();
         config.edges = e;
@@ -329,30 +334,25 @@ impl Configuration {
     #[inline]
     #[must_use]
     pub fn ring_gather(&self, from: Node, dir: Direction) -> RingGather {
-        let mut occupancy = 0u8;
-        let mut colors = [Color::C1; 8];
         match &self.grid {
-            // Raster path: eight direct byte loads, no per-node branch.
-            // `decode(0)` is `C1`, exactly the placeholder the map path
-            // leaves in unoccupied lanes, so both paths return identical
-            // values bit for bit.
-            Some(g) => {
-                for (k, &off) in ring_offsets(dir).iter().enumerate() {
-                    let code = g.code(from + off);
-                    occupancy |= u8::from(code != 0) << k;
-                    colors[k] = grid::decode(code);
-                }
-            }
+            // Raster path: eight direct byte probes by default, or the
+            // `ring-windows` row-window gather (see [`crate::grid`]'s
+            // `ring_codes`). `decode(0)` is `C1`, exactly the placeholder
+            // the map path leaves in unoccupied lanes, so both paths
+            // return identical values bit for bit.
+            Some(g) => RingGather::from_codes(g.ring_codes(from, dir)),
             None => {
+                let mut occupancy = 0u8;
+                let mut colors = [Color::C1; 8];
                 for (k, &off) in ring_offsets(dir).iter().enumerate() {
                     if let Some(s) = self.occupancy.get(from + off) {
                         occupancy |= 1 << k;
                         colors[k] = s.color;
                     }
                 }
+                RingGather { occupancy, colors }
             }
         }
-        RingGather { occupancy, colors }
     }
 
     /// Applies a transition's local `delta` to a tracked counter with
@@ -536,6 +536,67 @@ impl Configuration {
         Ok(())
     }
 
+    /// Applies a move the sharded engine already committed to the raster:
+    /// updates the occupancy map, the position table, and the tracked
+    /// counters from the shard's precomputed deltas, deliberately *not*
+    /// touching the raster (the shard worker mutated its row band in
+    /// place, and recomputing the deltas against the post-round raster
+    /// would be wrong anyway — they were evaluated mid-round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` holds no particle or a delta would wrap a tracked
+    /// counter. Both prove pre-existing state corruption, and by this
+    /// point the raster half of the transition is already applied, so
+    /// unlike [`Configuration::try_move_particle`] there is no untouched
+    /// state to hand back — a loud stop is the only honest option.
+    pub(crate) fn apply_sharded_move(&mut self, from: Node, to: Node, d_edges: i64, d_hetero: i64) {
+        let slot = self
+            .occupancy
+            .remove(from)
+            .unwrap_or_else(|| panic!("sharded move: {}", ChainStateError::UnoccupiedSource(from)));
+        self.edges = Self::checked_counter("edges", self.edges, d_edges)
+            .unwrap_or_else(|e| panic!("sharded move: {e}"));
+        self.hetero = Self::checked_counter("hetero", self.hetero, d_hetero)
+            .unwrap_or_else(|e| panic!("sharded move: {e}"));
+        self.occupancy.insert(to, slot);
+        self.positions[slot.index as usize] = to;
+    }
+
+    /// Applies a swap the sharded engine already committed to the raster:
+    /// exchanges the two occupancy entries and applies the shard's
+    /// precomputed hetero delta. See [`Configuration::apply_sharded_move`]
+    /// for why corruption panics here.
+    pub(crate) fn apply_sharded_swap(&mut self, a: Node, b: Node, d_hetero: i64) {
+        let sa = *self
+            .occupancy
+            .get(a)
+            .unwrap_or_else(|| panic!("sharded swap: {}", ChainStateError::UnoccupiedSource(a)));
+        let sb = *self
+            .occupancy
+            .get(b)
+            .unwrap_or_else(|| panic!("sharded swap: {}", ChainStateError::UnoccupiedTarget(b)));
+        self.hetero = Self::checked_counter("hetero", self.hetero, d_hetero)
+            .unwrap_or_else(|e| panic!("sharded swap: {e}"));
+        self.occupancy.insert(a, sb);
+        self.occupancy.insert(b, sa);
+        self.positions[sa.index as usize] = b;
+        self.positions[sb.index as usize] = a;
+    }
+
+    /// The raster cache, if the system is currently rasterized.
+    #[inline]
+    pub(crate) fn raster(&self) -> Option<&ColorGrid> {
+        self.grid.as_ref()
+    }
+
+    /// Mutable access to the raster cache for the sharded engine, which
+    /// hands disjoint row bands of it to worker threads.
+    #[inline]
+    pub(crate) fn raster_mut(&mut self) -> Option<&mut ColorGrid> {
+        self.grid.as_mut()
+    }
+
     /// Marks `node` occupied with `code` in the raster cache, rebuilding the
     /// raster when the node falls outside it (a particle crossed the margin)
     /// and dropping the cache entirely if the grown system no longer
@@ -543,14 +604,22 @@ impl Configuration {
     fn grid_occupy(&mut self, node: Node, code: u8) {
         if let Some(g) = &mut self.grid {
             if !g.set(node, code) {
-                let particles: Vec<(Node, Color)> = self
-                    .occupancy
-                    .iter()
-                    .map(|(n, s)| (n, s.color))
-                    .collect();
-                self.grid = ColorGrid::build(&particles);
+                let particles: Vec<(Node, Color)> =
+                    self.occupancy.iter().map(|(n, s)| (n, s.color)).collect();
+                self.grid = g.rebuild_grown(&particles);
+                self.raster_rebuilds += 1;
             }
         }
+    }
+
+    /// Number of raster rebuilds forced by margin crossings over this
+    /// configuration's lifetime. The rebuild policy doubles the margin each
+    /// time (with hysteresis — see [`crate::grid`]), so under steady drift
+    /// this grows logarithmically with distance, not linearly.
+    #[inline]
+    #[must_use]
+    pub fn raster_rebuild_count(&self) -> u64 {
+        self.raster_rebuilds
     }
 
     /// Recomputes `(e(σ), h(σ))` from scratch. Used by tests to validate the
@@ -998,6 +1067,21 @@ pub struct RingGather {
 }
 
 impl RingGather {
+    /// Builds a gather from eight raster cell codes in ring order — the
+    /// shared decode step of [`Configuration::ring_gather`]'s raster path
+    /// and the sharded engine's stripe-local gathers, so all raster
+    /// consumers stay bit-for-bit interchangeable.
+    #[inline]
+    pub(crate) fn from_codes(codes: [u8; 8]) -> Self {
+        let mut occupancy = 0u8;
+        let mut colors = [Color::C1; 8];
+        for (k, &code) in codes.iter().enumerate() {
+            occupancy |= u8::from(code != 0) << k;
+            colors[k] = grid::decode(code);
+        }
+        RingGather { occupancy, colors }
+    }
+
     /// Number of occupied ring positions selected by `mask`.
     #[inline]
     #[must_use]
@@ -1471,6 +1555,40 @@ mod tests {
         // The audit must not panic on a disconnected state even though
         // `boundary_walk_length` would.
         assert!(!report.connected);
+    }
+
+    #[test]
+    fn drifting_configuration_rebuilds_logarithmically_not_linearly() {
+        // A two-particle pair marching 600 columns east, one column per two
+        // moves. Under the old fixed-32 margin this forced a rebuild every
+        // 32 columns (~18 total); the doubling policy pays 32, 64, 128,
+        // 256, 512 → at most 5.
+        let mut c =
+            Configuration::new([(Node::new(0, 0), Color::C1), (Node::new(0, 1), Color::C2)])
+                .unwrap();
+        for x in 0..600 {
+            c.move_particle(0, Node::new(x + 1, 0));
+            c.move_particle(1, Node::new(x + 1, 1));
+        }
+        assert!(
+            c.raster_rebuild_count() <= 6,
+            "rebuild thrash: {} rebuilds over 600 columns of drift",
+            c.raster_rebuild_count()
+        );
+        assert!(
+            c.raster_rebuild_count() >= 1,
+            "drift this far must rebuild at least once"
+        );
+        // The raster survived the march and still mirrors the map.
+        assert!(c.audit().is_consistent());
+        // Oscillating across the rebuild edge afterwards is absorbed by
+        // the hysteresis (old extent stays covered): zero further rebuilds.
+        let settled = c.raster_rebuild_count();
+        for _ in 0..40 {
+            c.move_particle(0, Node::new(601, 0));
+            c.move_particle(0, Node::new(600, 0));
+        }
+        assert_eq!(c.raster_rebuild_count(), settled);
     }
 
     #[test]

@@ -237,8 +237,7 @@ fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
 #[must_use]
 pub fn stationary_log_weight(config: &Configuration, bias: Bias) -> f64 {
     let lg = bias.lambda() * bias.gamma();
-    -(config.perimeter() as f64) * lg.ln()
-        - (config.hetero_edge_count() as f64) * bias.gamma().ln()
+    -(config.perimeter() as f64) * lg.ln() - (config.hetero_edge_count() as f64) * bias.gamma().ln()
 }
 
 /// The unnormalized stationary weight of Lemma 9:

@@ -70,6 +70,7 @@ mod outcome;
 mod params;
 pub mod properties;
 pub mod reconfigure;
+pub mod shard;
 mod snapshot;
 
 pub use batch::{BatchReport, DEFAULT_BLOCK_PROPOSALS, MAX_BLOCK_PROPOSALS};
@@ -79,3 +80,4 @@ pub use config::{CanonicalForm, Configuration, RingGather};
 pub use error::{AuditReport, AuditViolation, ChainStateError, ConfigError, RepairOutcome};
 pub use outcome::StepOutcome;
 pub use params::{thresholds, Bias};
+pub use shard::{run_sharded_reference, ParallelConfig, ParallelReport, MIN_STRIPE_ROWS};

@@ -28,7 +28,10 @@ fn timing_breakdown() {
         acc ^= rng.random_range(0..6usize) as u64;
     }
     black_box(acc);
-    println!("random_range pair: {:.2} ns", t.elapsed().as_nanos() as f64 / N as f64);
+    println!(
+        "random_range pair: {:.2} ns",
+        t.elapsed().as_nanos() as f64 / N as f64
+    );
 
     let mut rng = StdRng::seed_from_u64(1);
     let ps = PreparedUniform::new(n as u64);
@@ -40,7 +43,10 @@ fn timing_breakdown() {
         acc ^= ds.sample(&mut rng);
     }
     black_box(acc);
-    println!("prepared pair:     {:.2} ns", t.elapsed().as_nanos() as f64 / N as f64);
+    println!(
+        "prepared pair:     {:.2} ns",
+        t.elapsed().as_nanos() as f64 / N as f64
+    );
 
     // Steady-state batched run with fallback stats.
     let mut rng = StdRng::seed_from_u64(2);
@@ -81,7 +87,10 @@ fn timing_breakdown() {
         }
     }
     black_box(acc);
-    println!("hold-lane primitive: {:.2} ns", t.elapsed().as_nanos() as f64 / N as f64);
+    println!(
+        "hold-lane primitive: {:.2} ns",
+        t.elapsed().as_nanos() as f64 / N as f64
+    );
 
     let mut rng = StdRng::seed_from_u64(5);
     let t = Instant::now();
@@ -94,7 +103,10 @@ fn timing_breakdown() {
         acc ^= u64::from(config.ring_gather(f, d).occupancy);
     }
     black_box(acc);
-    println!("draw+gather:         {:.2} ns", t.elapsed().as_nanos() as f64 / NG as f64);
+    println!(
+        "draw+gather:         {:.2} ns",
+        t.elapsed().as_nanos() as f64 / NG as f64
+    );
 
     // Outcome histogram at steady state (lane-mix for optimization).
     let mut rng = StdRng::seed_from_u64(2);
@@ -116,5 +128,8 @@ fn timing_breakdown() {
         let d = DIRECTIONS[rng.random_range(0..6usize)];
         black_box(chain.propose(&mut c, p, d, &mut rng));
     }
-    println!("sequential fused:  {:.2} ns/step", t.elapsed().as_nanos() as f64 / 4e6);
+    println!(
+        "sequential fused:  {:.2} ns/step",
+        t.elapsed().as_nanos() as f64 / 4e6
+    );
 }

@@ -235,7 +235,8 @@ fn assert_batched_matches_replay(
     let report = chain.run_batched_with(&mut batched_config, steps, block, &mut batched_rng, |o| {
         batched_outcomes.push(o);
     });
-    let oracle_outcomes = sequential_replay(&chain, &mut oracle_config, steps, block, &mut oracle_rng);
+    let oracle_outcomes =
+        sequential_replay(&chain, &mut oracle_config, steps, block, &mut oracle_rng);
 
     assert_eq!(report.steps, steps);
     for (step, (b, o)) in batched_outcomes.iter().zip(&oracle_outcomes).enumerate() {
@@ -248,8 +249,14 @@ fn assert_batched_matches_replay(
         "state diverged (block={block})"
     );
     assert_eq!(
-        (batched_config.edge_count(), batched_config.hetero_edge_count()),
-        (oracle_config.edge_count(), oracle_config.hetero_edge_count())
+        (
+            batched_config.edge_count(),
+            batched_config.hetero_edge_count()
+        ),
+        (
+            oracle_config.edge_count(),
+            oracle_config.hetero_edge_count()
+        )
     );
     assert_eq!(
         batched_rng.next_u64(),
@@ -329,8 +336,13 @@ fn batched_kernel_equivalence_exhaustive_on_small_configurations() {
                             &mut batched_rng,
                             |o| outcomes.push(o),
                         );
-                        let oracle =
-                            sequential_replay(chain, &mut oracle_config, 200, block, &mut oracle_rng);
+                        let oracle = sequential_replay(
+                            chain,
+                            &mut oracle_config,
+                            200,
+                            block,
+                            &mut oracle_rng,
+                        );
                         assert_eq!(
                             outcomes, oracle,
                             "outcomes diverged: n={n} n1={n1} block={block}"

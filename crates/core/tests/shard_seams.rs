@@ -1,0 +1,147 @@
+//! Shard-seam correctness (ISSUE satellite 3): adjacent particle pairs
+//! placed to straddle a stripe boundary in every orientation.
+//!
+//! The [`ParallelConfig::boundaries`] test hook pins the seam exactly
+//! where the pair sits, so every proposal whose footprint crosses it must
+//! be deferred — never evaluated, never committed by a shard worker — and
+//! the deferred pass, replayed through the live sequential kernel, must
+//! classify each proposal exactly as [`run_sharded_reference`] does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sops_core::{
+    run_sharded_reference, Bias, Color, Configuration, ParallelConfig, SeparationChain,
+};
+use sops_lattice::{Direction, Node, DIRECTIONS};
+
+/// A two-particle heterogeneous pair: one at the origin, one at the
+/// origin's `dir` neighbor.
+fn pair_config(dir: Direction) -> Configuration {
+    Configuration::new([
+        (Node::ORIGIN, Color::new(0)),
+        (Node::ORIGIN.neighbor(dir), Color::new(1)),
+    ])
+    .unwrap()
+}
+
+/// The seam row that splits (or grazes) the pair: between the rows for
+/// out-of-row pairs, through the shared row for in-row (E/W) pairs — in
+/// every case within footprint reach of both particles.
+fn seam_for(dir: Direction) -> i32 {
+    let dy = Node::ORIGIN.neighbor(dir).y;
+    dy.max(0)
+}
+
+fn seam_schedule(dir: Direction) -> ParallelConfig {
+    ParallelConfig {
+        threads: 2,
+        boundaries: Some(vec![seam_for(dir)]),
+        ..ParallelConfig::default()
+    }
+}
+
+#[test]
+fn straddling_pairs_defer_every_first_round_proposal_in_all_orientations() {
+    let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+    for dir in DIRECTIONS {
+        let mut config = pair_config(dir);
+        let mut rng = StdRng::seed_from_u64(2024);
+        // One round: n = 2 proposals, both drawn while the pair still
+        // straddles the seam, so both footprints cross it.
+        let report = chain.run_parallel_with(&mut config, 2, &seam_schedule(dir), &mut rng);
+        assert_eq!(report.steps, 2);
+        assert_eq!(
+            report.deferred, 2,
+            "a footprint across the {dir:?} seam must never run inside a shard"
+        );
+        assert_eq!(report.shards, 2);
+        assert!(config.audit().is_consistent());
+        assert!(config.is_connected());
+    }
+}
+
+#[test]
+fn seam_straddling_runs_match_the_sequential_reference_in_all_orientations() {
+    // Longer runs: the pair drifts, sometimes away from the seam and back,
+    // so direct commits and deferred reconciliations interleave. The
+    // concurrent engine must stay bit-for-bit on the reference trajectory,
+    // which evaluates every deferred proposal through the live sequential
+    // kernel — deferred outcomes therefore match sequential outcome
+    // classes by construction, and this test pins it end to end.
+    let chain = SeparationChain::new(Bias::new(2.0, 2.0).unwrap());
+    for (i, dir) in DIRECTIONS.into_iter().enumerate() {
+        let pcfg = seam_schedule(dir);
+        let mut par_config = pair_config(dir);
+        let mut ref_config = par_config.clone();
+        let seed = 90 + i as u64;
+        let mut par_rng = StdRng::seed_from_u64(seed);
+        let mut ref_rng = StdRng::seed_from_u64(seed);
+
+        let par = chain.run_parallel_with(&mut par_config, 600, &pcfg, &mut par_rng);
+        let reference = run_sharded_reference(&chain, &mut ref_config, 600, &pcfg, &mut ref_rng);
+
+        assert_eq!(par, reference, "{dir:?} seam diverged from reference");
+        assert!(par.deferred > 0, "{dir:?} seam never exercised deferral");
+        assert_eq!(
+            (0..par_config.len())
+                .map(|p| par_config.position_of(p))
+                .collect::<Vec<_>>(),
+            (0..ref_config.len())
+                .map(|p| ref_config.position_of(p))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(par_rng.next_u64(), ref_rng.next_u64());
+        assert!(par_config.audit().is_consistent());
+    }
+}
+
+#[test]
+fn dense_seam_traffic_stays_on_the_reference_trajectory() {
+    // A 12-particle block, two rows high, with the seam between the rows:
+    // heavy straddling traffic plus real in-stripe work on both sides.
+    let particles = (0..6)
+        .flat_map(|x| {
+            [
+                (Node::new(x, 0), Color::new(0)),
+                (Node::new(x, 1), Color::new(1)),
+            ]
+        })
+        .collect::<Vec<_>>();
+    let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+    let pcfg = ParallelConfig {
+        threads: 2,
+        boundaries: Some(vec![1]),
+        ..ParallelConfig::default()
+    };
+    let mut par_config = Configuration::new(particles.clone()).unwrap();
+    let mut ref_config = par_config.clone();
+    let mut par_rng = StdRng::seed_from_u64(404);
+    let mut ref_rng = StdRng::seed_from_u64(404);
+
+    let par = chain.run_parallel_with(&mut par_config, 3_000, &pcfg, &mut par_rng);
+    let reference = run_sharded_reference(&chain, &mut ref_config, 3_000, &pcfg, &mut ref_rng);
+    assert_eq!(par, reference);
+    assert!(par.deferred > 0);
+    assert!(par.accepted > 0, "the system should actually evolve");
+    assert_eq!(par_config.edge_count(), ref_config.edge_count());
+    assert_eq!(
+        par_config.hetero_edge_count(),
+        ref_config.hetero_edge_count()
+    );
+    assert!(par_config.audit().is_consistent());
+    assert_eq!(par_rng.next_u64(), ref_rng.next_u64());
+}
+
+#[test]
+#[should_panic(expected = "stripe boundary")]
+fn out_of_range_explicit_boundaries_are_rejected() {
+    let chain = SeparationChain::new(Bias::new(4.0, 4.0).unwrap());
+    let mut config = pair_config(Direction::E);
+    let mut rng = StdRng::seed_from_u64(0);
+    let pcfg = ParallelConfig {
+        threads: 2,
+        boundaries: Some(vec![10_000]),
+        ..ParallelConfig::default()
+    };
+    chain.run_parallel_with(&mut config, 10, &pcfg, &mut rng);
+}

@@ -7,7 +7,10 @@
 //! configuration invariants from scratch every `N` steps, `--retries K`
 //! bounds per-cell retry attempts, `--backoff-ms B` sets the base retry
 //! backoff, `--stall-ms S` arms the stall watchdog, `--no-telemetry`
-//! suppresses the per-cell JSONL metric streams, and the
+//! suppresses the per-cell JSONL metric streams, `--threads T` selects
+//! the sharded parallel proposal engine (`sops-core`'s
+//! `SeparationChain::run_parallel`) with `T` worker threads per cell
+//! (`1`, the default, keeps the sequential kernel), and the
 //! [`crate::ResourceBudget`] flags: `--deadline-ms D` caps the sweep's
 //! wall-clock time, `--max-steps N` caps chain steps per cell,
 //! `--max-rollbacks R` bounds the recovery ladder, `--memory-mb M` sets
@@ -43,6 +46,10 @@ pub struct SweepOptions {
     pub stall: Option<StallPolicy>,
     /// The resource envelope every cell runs within.
     pub budget: ResourceBudget,
+    /// Worker threads for the sharded parallel proposal engine; `1` keeps
+    /// the sequential kernel. Changing this changes the proposal schedule,
+    /// so trajectories are only reproducible for a fixed thread count.
+    pub threads: usize,
 }
 
 impl Default for SweepOptions {
@@ -56,6 +63,7 @@ impl Default for SweepOptions {
             backoff: BackoffPolicy::default(),
             stall: None,
             budget: ResourceBudget::default(),
+            threads: 1,
         }
     }
 }
@@ -134,6 +142,14 @@ impl SweepOptions {
                         .parse()
                         .unwrap_or_else(|_| panic!("--memory-mb expects a size in MiB: {v}"));
                     opts.budget.memory_ceiling_bytes = Some(mb * 1024 * 1024);
+                }
+                "--threads" => {
+                    let v = take_value("--threads");
+                    let threads: usize = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--threads expects a thread count: {v}"));
+                    assert!(threads > 0, "--threads requires at least one thread");
+                    opts.threads = threads;
                 }
                 "--no-telemetry" => opts.telemetry = false,
                 other => eprintln!("ignoring unknown flag {other:?}"),
@@ -243,6 +259,8 @@ mod tests {
                 "5",
                 "--memory-mb",
                 "64",
+                "--threads",
+                "4",
                 "--no-telemetry",
                 "--bogus",
             ]
@@ -264,6 +282,7 @@ mod tests {
         assert_eq!(opts.budget.max_steps, Some(1_000_000));
         assert_eq!(opts.budget.max_rollbacks, 5);
         assert_eq!(opts.budget.memory_ceiling_bytes, Some(64 * 1024 * 1024));
+        assert_eq!(opts.threads, 4);
         assert!(!opts.telemetry);
     }
 
@@ -272,6 +291,7 @@ mod tests {
         let opts = SweepOptions::parse(std::iter::empty());
         assert_eq!(opts, SweepOptions::default());
         assert!(opts.stall.is_none());
+        assert_eq!(opts.threads, 1);
         assert_eq!(opts.budget, ResourceBudget::default());
     }
 

@@ -324,7 +324,53 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    /// The xoshiro256++ jump polynomial (Blackman & Vigna): applying it
+    /// advances the state by exactly 2^128 steps of the underlying
+    /// transition, partitioning the full 2^256 − 1 period into 2^128
+    /// non-overlapping streams.
+    const JUMP: [u64; 4] = [
+        0x180e_c6d3_3cfd_0aba,
+        0xd5a6_1266_f0c9_392c,
+        0xa958_2618_e03f_c9aa,
+        0x39ab_dc45_29b1_661c,
+    ];
+
     impl StdRng {
+        /// Advances the generator by 2^128 draws in O(256) state updates.
+        ///
+        /// This is the standard xoshiro256++ jump function: starting from
+        /// one master state, `k` applications of `jump` yield the start of
+        /// stream `k`, and streams never overlap unless one of them
+        /// consumes more than 2^128 draws. The sharded parallel engine
+        /// derives one counted stream per shard this way (see
+        /// `sops-core`'s `shard` module for the draw-order contract).
+        pub fn jump(&mut self) {
+            let mut acc = [0u64; 4];
+            for word in JUMP {
+                for bit in 0..64 {
+                    if word & (1u64 << bit) != 0 {
+                        for (a, s) in acc.iter_mut().zip(self.s) {
+                            *a ^= s;
+                        }
+                    }
+                    self.next_u64();
+                }
+            }
+            self.s = acc;
+        }
+
+        /// Returns the generator `jumps` streams ahead of `self` without
+        /// perturbing `self`: stream 0 is `self`'s current state, stream 1
+        /// is one [`StdRng::jump`] ahead, and so on.
+        #[must_use]
+        pub fn split_stream(&self, jumps: usize) -> Self {
+            let mut stream = self.clone();
+            for _ in 0..jumps {
+                stream.jump();
+            }
+            stream
+        }
+
         /// Serializes the full generator state (32 bytes, little-endian).
         #[must_use]
         pub fn to_state_bytes(&self) -> [u8; 32] {
@@ -566,7 +612,13 @@ mod tests {
         for span in [3u64, 6, 7, 100, (1 << 33) - 1, u64::MAX / 2 + 1] {
             let u = super::PreparedUniform::new(span);
             let expected = ((1u128 << 64) % u128::from(span)) as u64;
-            assert_eq!(u, super::PreparedUniform { span, threshold: expected });
+            assert_eq!(
+                u,
+                super::PreparedUniform {
+                    span,
+                    threshold: expected
+                }
+            );
         }
     }
 
@@ -574,5 +626,59 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn prepared_uniform_rejects_zero_span() {
         let _ = super::PreparedUniform::new(0);
+    }
+
+    #[test]
+    fn jump_is_deterministic_and_changes_state() {
+        let mut a = StdRng::seed_from_u64(21);
+        let mut b = StdRng::seed_from_u64(21);
+        a.jump();
+        b.jump();
+        assert_eq!(a.to_state_bytes(), b.to_state_bytes());
+        assert_ne!(
+            a.to_state_bytes(),
+            StdRng::seed_from_u64(21).to_state_bytes(),
+            "jump must advance the state"
+        );
+        // Jumping commutes with stepping: jump() is a fixed power of the
+        // transition, so step-then-jump == jump-then-step.
+        let mut c = StdRng::seed_from_u64(22);
+        let mut d = StdRng::seed_from_u64(22);
+        c.next_u64();
+        c.jump();
+        d.jump();
+        d.next_u64();
+        assert_eq!(c.to_state_bytes(), d.to_state_bytes());
+    }
+
+    #[test]
+    fn jumped_streams_do_not_collide() {
+        // Eight consecutive jump streams from one master: pairwise-distinct
+        // prefixes over a generous window.
+        let master = StdRng::seed_from_u64(23);
+        let streams: Vec<Vec<u64>> = (0..8)
+            .map(|k| {
+                let mut rng = master.split_stream(k);
+                (0..512).map(|_| rng.next_u64()).collect()
+            })
+            .collect();
+        for i in 0..streams.len() {
+            for j in (i + 1)..streams.len() {
+                assert_ne!(streams[i], streams[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn split_stream_zero_is_identity_and_master_is_untouched() {
+        let master = StdRng::seed_from_u64(24);
+        let snapshot = master.to_state_bytes();
+        let clone = master.split_stream(0);
+        assert_eq!(clone.to_state_bytes(), snapshot);
+        let two = master.split_stream(2);
+        assert_eq!(master.to_state_bytes(), snapshot, "split must not mutate");
+        let mut one_then_one = master.split_stream(1);
+        one_then_one.jump();
+        assert_eq!(two.to_state_bytes(), one_then_one.to_state_bytes());
     }
 }
