@@ -21,6 +21,16 @@
 //! and hetero-edge series, runtime events) to
 //! `results/logs/mixing-n-N.telemetry.jsonl` unless `--no-telemetry` is
 //! passed.
+//!
+//! With `--adaptive` the hitting loop runs under the convergence engine
+//! instead of breaking at the first certificate: each cell stops once the
+//! perimeter series plateaus, carries enough effective samples, agrees
+//! across its window halves (split-R̂ ≤ 1.05), and the separation
+//! certificate has held for a streak of checks. Converged cells end `ok`
+//! with a `converged` event (full diagnostics) in the cells report; the
+//! first-certificate step is read back from the monitor's serialized
+//! state, so it survives kill-and-resume. `--smoke` shrinks the sweep
+//! (smaller sizes, shorter chunks, a tight cap, part 1 skipped) for CI.
 
 use std::ops::ControlFlow;
 
@@ -31,12 +41,32 @@ use sops_chains::{Recovery, RunManifest, TransitionMatrix};
 use sops_core::enumerate::ExactSeparationChain;
 use sops_core::{construct, Bias, Configuration, SeparationChain};
 use sops_runtime::{
-    run_chain, write_cell_report, ChainJob, JobContext, JobError, Runtime, SweepOptions,
+    run_chain, run_chain_monitored, write_cell_report, CertificateRule, ChainJob,
+    ConvergenceMonitor, EssRule, JobContext, JobError, PlateauRule, RHatRule, Runtime, StopReason,
+    SweepOptions,
 };
 
 const HIT_CHUNK: u64 = 25_000;
 const HIT_CAP: u64 = 500_000_000;
 const METRICS_EVERY: u64 = 1_000_000;
+// `--smoke`: short chunks against a tight cap so the adaptive stop is
+// exercised (and measurable) in CI-scale minutes.
+const SMOKE_CHUNK: u64 = 2_000;
+const SMOKE_CAP: u64 = 4_000_000;
+const SMOKE_METRICS_EVERY: u64 = 500_000;
+
+/// The adaptive rule stack for the hitting sweep (ROADMAP item 5). All
+/// four rules gate, so budget is released only when the *behavior* (a
+/// streak of separation certificates) and the *statistics* (perimeter
+/// plateau, window ESS, split-R̂) agree the cell is done. Windows are in
+/// chunk samples, so the stack serves both smoke and full chunk sizes.
+fn mixing_monitor() -> ConvergenceMonitor {
+    ConvergenceMonitor::new(48)
+        .with_rule(Box::new(PlateauRule::new(16, 0.05)))
+        .with_rule(Box::new(EssRule::new(12.0, 48, 24)))
+        .with_rule(Box::new(RHatRule::new(1.05, 24)))
+        .with_rule(Box::new(CertificateRule::new(3)))
+}
 
 fn hitting_cell(
     n: usize,
@@ -45,6 +75,11 @@ fn hitting_cell(
 ) -> Result<Option<u64>, JobError> {
     // Attempt 1 reproduces the published seed; a retry draws a fresh
     // stream so a seed-dependent fault is not re-hit verbatim.
+    let (chunk, cap, metrics_every) = if opts.smoke {
+        (SMOKE_CHUNK, SMOKE_CAP, SMOKE_METRICS_EVERY)
+    } else {
+        (HIT_CHUNK, HIT_CAP, METRICS_EVERY)
+    };
     let mut rng = seeded_attempt("mixing-hit", n as u64, ctx.attempt);
     let nodes = construct::hexagonal_spiral(n);
     let mut config = Configuration::new(construct::bicolor_random(nodes, n / 2, &mut rng))
@@ -73,7 +108,11 @@ fn hitting_cell(
         if let Some(ckpt) = checkpoint {
             t0 = ckpt.step;
             eprintln!("n={n}: resuming hitting loop at step {t0}");
-            if is_separated(&ckpt.state, 4.0, 0.2).is_some() {
+            // Only the first-hit loop can shortcut on an already-separated
+            // snapshot; the adaptive path must re-enter the run so the
+            // monitor (restored from the checkpoint sidecar) makes — or
+            // replays — the stop decision.
+            if !opts.adaptive && is_separated(&ckpt.state, 4.0, 0.2).is_some() {
                 hit = Some(ckpt.step);
             }
         }
@@ -93,7 +132,7 @@ fn hitting_cell(
         lambda: 4.0,
         gamma: 4.0,
         n: n as u64,
-        steps: HIT_CAP,
+        steps: cap,
     };
     let mut sink = opts.telemetry_sink(
         &sops_bench::logs_dir(),
@@ -105,42 +144,87 @@ fn hitting_cell(
 
     if hit.is_none() {
         let job = ChainJob {
-            steps: HIT_CAP,
-            every: HIT_CHUNK,
+            steps: cap,
+            every: chunk,
             store: store.as_ref(),
             audit_every: opts.audit_every,
         };
         // Sink failures inside the chunk hook can't propagate through the
         // ControlFlow seam; stash and rethrow after the run.
         let mut sink_err = None;
-        let run = run_chain(
-            ctx,
-            &chain,
-            &mut config,
-            &mut rng,
-            job,
-            |c| c.perimeter() as f64,
-            |t, c| {
-                if let Some(sink) = &mut sink {
-                    if (t - t0) % METRICS_EVERY == 0 {
-                        if let Err(e) = sink.record_metrics(t0, &chain.report()) {
-                            sink_err = Some(e);
-                            return ControlFlow::Break(());
+        if opts.adaptive {
+            // Adaptive: no first-hit break — the convergence monitor owns
+            // the stop decision, and the hitting time is read back from
+            // the certificate rule's serialized first-hit record.
+            let mut monitor = mixing_monitor();
+            let (run, stop) = run_chain_monitored(
+                ctx,
+                &chain,
+                &mut config,
+                &mut rng,
+                job,
+                &mut monitor,
+                |c| c.perimeter() as f64,
+                |c| is_separated(c, 4.0, 0.2).is_some(),
+                |t, _| {
+                    if let Some(sink) = &mut sink {
+                        if (t - t0) % metrics_every == 0 {
+                            if let Err(e) = sink.record_metrics(t0, &chain.report()) {
+                                sink_err = Some(e);
+                                return ControlFlow::Break(());
+                            }
                         }
                     }
-                }
-                if is_separated(c, 4.0, 0.2).is_some() {
-                    hit = Some(t);
-                    return ControlFlow::Break(());
-                }
-                ControlFlow::Continue(())
-            },
-        )?;
-        for event in &run.events {
-            eprintln!("n={n}: {event:?}");
-        }
-        if let Some(e) = sink_err {
-            return Err(e.into());
+                    ControlFlow::Continue(())
+                },
+            )?;
+            for event in &run.events {
+                eprintln!("n={n}: {event:?}");
+            }
+            if let Some(e) = sink_err {
+                return Err(e.into());
+            }
+            if let Some(StopReason::Converged { step, diagnostics }) = stop {
+                eprintln!(
+                    "n={n}: converged at step {step} with budget to spare: {}",
+                    diagnostics.to_json()
+                );
+                hit = diagnostics
+                    .get("first_certified_step")
+                    .map(|s| s.round() as u64);
+            }
+            // Not converged → budget ran out; `hit` stays `None` and the
+            // degrade reason is already on `ctx`.
+        } else {
+            let run = run_chain(
+                ctx,
+                &chain,
+                &mut config,
+                &mut rng,
+                job,
+                |c| c.perimeter() as f64,
+                |t, c| {
+                    if let Some(sink) = &mut sink {
+                        if (t - t0) % metrics_every == 0 {
+                            if let Err(e) = sink.record_metrics(t0, &chain.report()) {
+                                sink_err = Some(e);
+                                return ControlFlow::Break(());
+                            }
+                        }
+                    }
+                    if is_separated(c, 4.0, 0.2).is_some() {
+                        hit = Some(t);
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                },
+            )?;
+            for event in &run.events {
+                eprintln!("n={n}: {event:?}");
+            }
+            if let Some(e) = sink_err {
+                return Err(e.into());
+            }
         }
         // A cancelled or budget-tripped run is already marked degraded on
         // `ctx`; fall through and report the partial result (no hit yet).
@@ -158,6 +242,64 @@ fn hitting_cell(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rt = Runtime::from_args();
+    if rt.options().smoke {
+        println!("1. Exact mixing times: skipped under --smoke.\n");
+    } else {
+        run_exact_mixing()?;
+    }
+
+    println!("\n2. Behavior arrives before stationarity: first (4, 0.2)-separation\n   certificate at λ = γ = 4 vs system size:\n");
+    let sizes: Vec<usize> = if rt.options().smoke {
+        vec![20, 30, 40, 50]
+    } else {
+        vec![40, 70, 100, 130]
+    };
+    let outcomes = rt.run_cells(sizes, |&n, ctx| {
+        hitting_cell(n, rt.options(), ctx).map(|hit| (n, hit))
+    });
+    let mut t2 = Table::new(["n", "first separation (steps)", "steps per particle"]);
+    for outcome in &outcomes {
+        match &outcome.result {
+            Some((n, hit)) => t2.row([
+                format!("{n}"),
+                hit.map_or_else(|| "not hit".into(), |t| t.to_string()),
+                hit.map_or_else(|| "—".into(), |t| format!("{:.0}", t as f64 / *n as f64)),
+            ]),
+            None => t2.row([
+                outcome.cell.clone(),
+                format!(
+                    "FAILED: {}",
+                    outcome
+                        .error
+                        .as_ref()
+                        .map_or_else(String::new, ToString::to_string)
+                ),
+                "—".to_string(),
+            ]),
+        }
+    }
+    t2.print();
+    if rt.options().adaptive {
+        let converged = outcomes
+            .iter()
+            .filter(|o| o.events.iter().any(|e| e.kind() == "converged"))
+            .count();
+        println!(
+            "\nadaptive: {converged}/{} cells stopped early on convergence\n\
+             (diagnostics in the cells report's converged events)",
+            outcomes.len()
+        );
+    }
+    write_cell_report(&sops_bench::out_dir(), "mixing", &outcomes);
+    println!(
+        "\nexpected shape: hitting times grow polynomially and gently in n —\n\
+         the behavioral guarantee arrives \"fairly quickly\" (§5) even though\n\
+         no mixing-time bound is known."
+    );
+    Ok(())
+}
+
+fn run_exact_mixing() -> Result<(), Box<dyn std::error::Error>> {
     println!("1. Exact mixing times t_mix(1/4) on enumerable spaces:\n");
     let mut t1 = Table::new([
         "n",
@@ -190,39 +332,5 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     t1.print();
-
-    println!("\n2. Behavior arrives before stationarity: first (4, 0.2)-separation\n   certificate at λ = γ = 4 vs system size:\n");
-    let sizes = [40usize, 70, 100, 130];
-    let outcomes = rt.run_cells(sizes.to_vec(), |&n, ctx| {
-        hitting_cell(n, rt.options(), ctx).map(|hit| (n, hit))
-    });
-    let mut t2 = Table::new(["n", "first separation (steps)", "steps per particle"]);
-    for outcome in &outcomes {
-        match &outcome.result {
-            Some((n, hit)) => t2.row([
-                format!("{n}"),
-                hit.map_or_else(|| ">5e8".into(), |t| t.to_string()),
-                hit.map_or_else(|| "—".into(), |t| format!("{:.0}", t as f64 / *n as f64)),
-            ]),
-            None => t2.row([
-                outcome.cell.clone(),
-                format!(
-                    "FAILED: {}",
-                    outcome
-                        .error
-                        .as_ref()
-                        .map_or_else(String::new, ToString::to_string)
-                ),
-                "—".to_string(),
-            ]),
-        }
-    }
-    t2.print();
-    write_cell_report(&sops_bench::out_dir(), "mixing", &outcomes);
-    println!(
-        "\nexpected shape: hitting times grow polynomially and gently in n —\n\
-         the behavioral guarantee arrives \"fairly quickly\" (§5) even though\n\
-         no mixing-time bound is known."
-    );
     Ok(())
 }

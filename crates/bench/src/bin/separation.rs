@@ -21,6 +21,7 @@ use std::ops::ControlFlow;
 
 use sops_analysis::{is_separated, metrics};
 use sops_bench::{instrument_chain, seed_hash_attempt, seeded_attempt, Table};
+use sops_chains::stats::{effective_sample_size, Summary};
 use sops_chains::telemetry::series_record_json;
 use sops_chains::{Auditable as _, MarkovChain, RunManifest};
 use sops_core::{construct, Bias, Configuration, SeparationChain};
@@ -39,7 +40,7 @@ fn sweep_cell(
     gamma: f64,
     opts: &SweepOptions,
     ctx: &JobContext<'_>,
-) -> Result<(f64, f64), JobError> {
+) -> Result<(f64, f64, f64), JobError> {
     // Attempt 1 reproduces the published seed; a retry draws a fresh
     // stream so a seed-dependent fault is not re-hit verbatim.
     let mut rng = seeded_attempt("separation", gamma.to_bits(), ctx.attempt);
@@ -120,8 +121,7 @@ fn sweep_cell(
     // An incomplete burn-in (budget trip or cancellation) is already
     // marked degraded on `ctx`; skip sampling and report what exists.
     let mut separated = 0usize;
-    let mut hetero = 0.0;
-    let mut taken = 0usize;
+    let mut hetero: Vec<f64> = Vec::with_capacity(SAMPLES);
     let mut since_audit = 0u64;
     if run.completed && ctx.degraded().is_none() {
         for sample in 0..SAMPLES {
@@ -150,8 +150,7 @@ fn sweep_cell(
                 }
             }
             separated += usize::from(is_separated(&config, 4.0, 0.2).is_some());
-            hetero += metrics::hetero_fraction(&config);
-            taken += 1;
+            hetero.push(metrics::hetero_fraction(&config));
         }
     }
     if let Some(sink) = &mut sink {
@@ -164,8 +163,20 @@ fn sweep_cell(
     }
     // Partial averages over the samples actually taken: a degraded cell
     // still reports a value, classified degraded in the cells report.
-    let denom = taken.max(1) as f64;
-    Ok((separated as f64 / denom, hetero / denom))
+    // The confidence half-width is ESS-adjusted: samples SAMPLE_GAP steps
+    // apart are still autocorrelated, so the i.i.d. width would overstate
+    // the precision (see `Summary::ci95_half_width`'s caveat).
+    let denom = hetero.len().max(1) as f64;
+    let (mean, ci) = if hetero.is_empty() {
+        (0.0, f64::INFINITY)
+    } else {
+        let summary = Summary::of(&hetero);
+        (
+            summary.mean,
+            summary.ci95_half_width_ess(effective_sample_size(&hetero)),
+        )
+    };
+    Ok((separated as f64 / denom, mean, ci))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -195,6 +206,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "gamma",
         "P[(4, 0.2)-separated]",
         "mean hetero fraction",
+        "±95% (ESS-adj)",
         "regime",
     ]);
     for (gamma, outcome) in gammas.iter().zip(&outcomes) {
@@ -206,15 +218,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ""
         };
         match &outcome.result {
-            Some((p_sep, hf)) => table.row([
+            Some((p_sep, hf, ci)) => table.row([
                 format!("{gamma:.4}"),
                 format!("{p_sep:.2}"),
                 format!("{hf:.3}"),
+                if ci.is_finite() {
+                    format!("{ci:.3}")
+                } else {
+                    "—".to_string()
+                },
                 regime.to_string(),
             ]),
             None => table.row([
                 format!("{gamma:.4}"),
                 "FAILED".to_string(),
+                "—".to_string(),
                 "—".to_string(),
                 outcome
                     .error

@@ -195,6 +195,30 @@ macro_rules! trivial_state_impls {
 
 trivial_state_impls!(u8, u16, u32, u64, i64);
 
+/// Sidecar decision state that rides inside checkpoints alongside the
+/// chain state — e.g. a [`crate::convergence::ConvergenceMonitor`], whose
+/// serialized stopping-rule state must travel with the snapshot so a
+/// resumed run makes bit-identical stop decisions.
+///
+/// Unlike [`StateCodec`], restore receives the snapshot's step count and
+/// may be handed *empty* bytes when the snapshot predates the sidecar
+/// (written by an older run or a non-adaptive one); implementations must
+/// treat that as "start fresh", not as corruption.
+pub trait AuxCodec {
+    /// Encodes the sidecar state into bytes.
+    fn encode_aux(&self) -> Vec<u8>;
+
+    /// Restores state captured by [`AuxCodec::encode_aux`] from a snapshot
+    /// taken at `step`. Empty `bytes` means the snapshot carried no
+    /// sidecar and the implementation should reset itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation on invalid non-empty
+    /// input; decoding untrusted bytes must never panic.
+    fn restore_aux(&mut self, step: u64, bytes: &[u8]) -> Result<(), String>;
+}
+
 /// A point-in-time snapshot of a checkpointed run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Checkpoint<S> {
@@ -209,6 +233,11 @@ pub struct Checkpoint<S> {
     pub log: Vec<(u64, f64)>,
     /// The chain state.
     pub state: S,
+    /// Opaque sidecar payload ([`AuxCodec`]): convergence-monitor decision
+    /// state in adaptive runs, empty otherwise. An empty sidecar is
+    /// serialized as *no* `aux` line, so non-adaptive snapshots are
+    /// byte-identical to the pre-sidecar format.
+    pub aux: Vec<u8>,
 }
 
 const MAGIC: &str = "sops-checkpoint v1";
@@ -251,6 +280,7 @@ fn render_payload<S: StateCodec>(
     rng_state: &[u8],
     log: &[(u64, f64)],
     state: &S,
+    aux: &[u8],
 ) -> String {
     let mut out = String::new();
     out.push_str(MAGIC);
@@ -264,6 +294,11 @@ fn render_payload<S: StateCodec>(
         out.push_str(&format!("{t} {:016x}\n", v.to_bits()));
     }
     out.push_str(&format!("state {}\n", hex_encode(&state.encode_state())));
+    if !aux.is_empty() {
+        // Omitted entirely when empty so non-adaptive snapshots keep the
+        // exact pre-sidecar byte layout.
+        out.push_str(&format!("aux {}\n", hex_encode(aux)));
+    }
     out
 }
 
@@ -274,8 +309,9 @@ fn render_text<S: StateCodec>(
     rng_state: &[u8],
     log: &[(u64, f64)],
     state: &S,
+    aux: &[u8],
 ) -> String {
-    let payload = render_payload(step, accepted, rng_state, log, state);
+    let payload = render_payload(step, accepted, rng_state, log, state, aux);
     format!("{payload}checksum {:016x}\n", fnv1a(payload.as_bytes()))
 }
 
@@ -289,6 +325,7 @@ impl<S: StateCodec> Checkpoint<S> {
             &self.rng_state,
             &self.log,
             &self.state,
+            &self.aux,
         )
     }
 
@@ -346,12 +383,28 @@ impl<S: StateCodec> Checkpoint<S> {
             log.push((t, f64::from_bits(bits)));
         }
         let state = S::decode_state(&hex_decode(&field(&mut lines, "state")?)?)?;
+        // Optional trailing sidecar; absent in pre-sidecar and non-adaptive
+        // snapshots.
+        let aux = match lines.next() {
+            None => Vec::new(),
+            Some(line) => {
+                let hex = line
+                    .strip_prefix("aux ")
+                    .ok_or_else(|| format!("unexpected trailing line {line:?}"))?;
+                let bytes = hex_decode(hex)?;
+                if lines.next().is_some() {
+                    return Err("trailing data after aux field".into());
+                }
+                bytes
+            }
+        };
         Ok(Checkpoint {
             step,
             accepted,
             rng_state,
             log,
             state,
+            aux,
         })
     }
 }
@@ -526,12 +579,13 @@ impl CheckpointStore {
     ///
     /// Returns an error on I/O failure.
     pub fn save<S: StateCodec>(&self, ckpt: &Checkpoint<S>) -> Result<PathBuf, CheckpointError> {
-        self.save_parts(
+        self.save_parts_aux(
             ckpt.step,
             ckpt.accepted,
             &ckpt.rng_state,
             &ckpt.log,
             &ckpt.state,
+            &ckpt.aux,
         )
     }
 
@@ -549,13 +603,31 @@ impl CheckpointStore {
         log: &[(u64, f64)],
         state: &S,
     ) -> Result<PathBuf, CheckpointError> {
+        self.save_parts_aux(step, accepted, rng_state, log, state, &[])
+    }
+
+    /// [`CheckpointStore::save_parts`] with an [`AuxCodec`] sidecar
+    /// payload. Empty `aux` writes the exact pre-sidecar snapshot format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure.
+    pub fn save_parts_aux<S: StateCodec>(
+        &self,
+        step: u64,
+        accepted: u64,
+        rng_state: &[u8],
+        log: &[(u64, f64)],
+        state: &S,
+        aux: &[u8],
+    ) -> Result<PathBuf, CheckpointError> {
         self.check_cancel()?;
         let final_path = self.dir.join(format!("step-{step:020}.ckpt"));
         let tmp_path = self.dir.join(format!("step-{step:020}.ckpt.tmp"));
         self.vfs.create(&tmp_path)?;
         self.vfs.write(
             &tmp_path,
-            render_text(step, accepted, rng_state, log, state).as_bytes(),
+            render_text(step, accepted, rng_state, log, state, aux).as_bytes(),
         )?;
         self.vfs.sync(&tmp_path)?;
         // Last safe point to abandon the save: past the rename the
@@ -841,9 +913,39 @@ mod tests {
             // 0.1 + 0.2 is an awkward value: exact bit round-trip matters.
             log: vec![(0, 0.5), (21, -1.25), (42, 0.1 + 0.2)],
             state: 7u64,
+            aux: Vec::new(),
         };
         let back = Checkpoint::<u64>::from_text(&ckpt.to_text()).unwrap();
         assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn aux_sidecar_round_trips_and_preserves_legacy_format() {
+        let base = Checkpoint {
+            step: 5,
+            accepted: 2,
+            rng_state: vec![7; 32],
+            log: vec![(0, 1.0)],
+            state: 9u64,
+            aux: Vec::new(),
+        };
+        let legacy_text = base.to_text();
+        assert!(
+            !legacy_text.contains("\naux "),
+            "empty sidecar must keep the pre-sidecar byte layout"
+        );
+        // Legacy text (no aux line) parses to an empty sidecar.
+        assert_eq!(Checkpoint::<u64>::from_text(&legacy_text).unwrap(), base);
+
+        let with_aux = Checkpoint {
+            aux: vec![0, 1, 2, 0xfe, 0xff],
+            ..base
+        };
+        let text = with_aux.to_text();
+        assert!(text.contains("\naux 000102feff\n"));
+        assert_eq!(Checkpoint::<u64>::from_text(&text).unwrap(), with_aux);
+        // A tampered aux line breaks the checksum like any other field.
+        assert!(Checkpoint::<u64>::from_text(&text.replace("0001", "0002")).is_err());
     }
 
     #[test]
@@ -854,6 +956,7 @@ mod tests {
             rng_state: vec![9; 32],
             log: vec![(0, 1.0)],
             state: 3u64,
+            aux: Vec::new(),
         };
         let good = ckpt.to_text();
         // Flip one payload byte: checksum must catch it.
@@ -878,6 +981,7 @@ mod tests {
                     rng_state: vec![0; 32],
                     log: vec![],
                     state: step,
+                    aux: Vec::new(),
                 })
                 .unwrap();
         }
@@ -899,6 +1003,7 @@ mod tests {
                     rng_state: vec![1; 32],
                     log: vec![(0, 0.0)],
                     state: step,
+                    aux: Vec::new(),
                 })
                 .unwrap();
         }
@@ -947,6 +1052,7 @@ mod tests {
                 rng_state: vec![1; 32],
                 log: vec![],
                 state: 10u64,
+                aux: Vec::new(),
             })
             .unwrap();
         let orphan = scratch.0.join("step-00000000000000000020.ckpt.tmp");
@@ -981,6 +1087,7 @@ mod tests {
                 rng_state: vec![2; 32],
                 log: vec![(0, 1.0)],
                 state: 10u64,
+                aux: Vec::new(),
             })
             .unwrap();
         // A second file whose unpadded name encodes the same step — both
@@ -1005,6 +1112,7 @@ mod tests {
                         rng_state: vec![3; 32],
                         log: vec![],
                         state: step,
+                        aux: Vec::new(),
                     })
                     .unwrap(),
             );

@@ -25,6 +25,10 @@
 //!   rule) used by Algorithm 1;
 //! * [`stats`] — empirical distributions, total-variation distance, and
 //!   time-series summaries for simulation output;
+//! * [`convergence`] — streaming convergence detection for the adaptive
+//!   experiment engine: single-pass Welford/τ_int/ESS/split-R̂ estimators
+//!   and composable [`StoppingRule`]s whose decision state serializes
+//!   into checkpoints, so resumed runs make bit-identical stop decisions;
 //! * [`telemetry`] — step-level observability: typed per-step outcome
 //!   classification ([`ClassifiedChain`]), an [`Instrumented`] wrapper
 //!   accumulating outcome counters / acceptance-rate windows / throughput /
@@ -59,6 +63,7 @@
 pub mod cancel;
 mod chain;
 pub mod checkpoint;
+pub mod convergence;
 mod exact;
 pub mod metropolis;
 pub mod recovery;
@@ -69,16 +74,20 @@ pub mod vfs;
 pub use cancel::CancelToken;
 pub use chain::{MarkovChain, Trajectory};
 pub use checkpoint::{
-    Auditable, Checkpoint, CheckpointError, CheckpointStore, CheckpointedRun,
+    Auditable, AuxCodec, Checkpoint, CheckpointError, CheckpointStore, CheckpointedRun,
     MarkovChainCheckpointExt, Recovery, SnapshotRng, StateCodec,
+};
+pub use convergence::{
+    r_hat, split_r_hat, CertificateRule, ConvergenceMonitor, Diagnostics, EssRule, PlateauRule,
+    RHatRule, StoppingRule, StreamingAcf, Welford,
 };
 pub use exact::{EnumerableChain, TransitionMatrix};
 pub use metropolis::{
     ExponentOverflow, PowerRatio, PowerTable, WeightAccumulator, POWER_TABLE_EXPONENT_MAX,
 };
 pub use recovery::{
-    run_supervised, CancelKind, Heartbeat, RecoveryEvent, Repairable, SupervisedOptions,
-    SupervisedRun,
+    run_supervised, run_supervised_hooked, CancelKind, Heartbeat, RecoveryEvent, Repairable,
+    SupervisedHooks, SupervisedOptions, SupervisedRun,
 };
 pub use telemetry::{
     ClassifiedChain, Instrumented, JsonlSink, OutcomeClass, RingBuffer, RunManifest,

@@ -38,6 +38,58 @@ use crate::checkpoint::{
     Auditable, CheckpointError, CheckpointStore, Recovery, SnapshotRng, StateCodec,
 };
 
+/// Chunk-boundary hooks for [`run_supervised_hooked`]: the per-chunk
+/// callback plus optional sidecar persistence.
+///
+/// The sidecar methods let decision state that lives *outside* the chain
+/// state — e.g. a [`crate::convergence::ConvergenceMonitor`] — ride inside
+/// every snapshot ([`Checkpoint::aux`](crate::checkpoint::Checkpoint::aux))
+/// and be restored on resume *and on rollback*, so stop decisions are
+/// bit-identical across kills and replayed spans. Because
+/// [`SupervisedHooks::on_chunk`] runs before the snapshot of the same
+/// chunk is persisted, whatever the hook accumulated at step `t` is
+/// captured in the step-`t` snapshot.
+///
+/// [`run_supervised`] adapts its plain `FnMut(u64, &mut S)` callback into
+/// this trait internally (with no sidecar); implement it directly when
+/// the run carries decision state that must survive kills and rollbacks.
+pub trait SupervisedHooks<S> {
+    /// Runs after each chunk, before the audit; return
+    /// [`ControlFlow::Break`] to stop early.
+    fn on_chunk(&mut self, step: u64, state: &mut S) -> ControlFlow<()>;
+
+    /// Sidecar bytes to persist with the next snapshot. Empty (the
+    /// default) writes the exact pre-sidecar snapshot format.
+    fn encode_aux(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores sidecar state from a snapshot taken at `step`, on resume
+    /// and after every rollback. Empty bytes mean the snapshot carried no
+    /// sidecar (legacy or non-adaptive): reset, don't fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when non-empty bytes are malformed; the run
+    /// surfaces it as a corrupt checkpoint.
+    fn restore_aux(&mut self, step: u64, bytes: &[u8]) -> Result<(), String> {
+        let _ = (step, bytes);
+        Ok(())
+    }
+}
+
+/// Adapts a plain chunk callback into [`SupervisedHooks`] with no
+/// sidecar. A wrapper struct rather than a blanket `impl for G: FnMut`,
+/// which would make every other [`SupervisedHooks`] impl a coherence
+/// conflict.
+struct ClosureHooks<G>(G);
+
+impl<S, G: FnMut(u64, &mut S) -> ControlFlow<()>> SupervisedHooks<S> for ClosureHooks<G> {
+    fn on_chunk(&mut self, step: u64, state: &mut S) -> ControlFlow<()> {
+        (self.0)(step, state)
+    }
+}
+
 /// A state that can attempt to repair its own invariant violations in
 /// place.
 ///
@@ -316,8 +368,8 @@ pub fn run_supervised<C, R, F, G>(
     store: &CheckpointStore,
     opts: &SupervisedOptions,
     heartbeat: &Heartbeat,
-    mut observe: F,
-    mut on_chunk: G,
+    observe: F,
+    on_chunk: G,
 ) -> Result<SupervisedRun, CheckpointError>
 where
     C: MarkovChain,
@@ -325,6 +377,50 @@ where
     R: Rng + SnapshotRng + ?Sized,
     F: FnMut(&C::State) -> f64,
     G: FnMut(u64, &mut C::State) -> ControlFlow<()>,
+{
+    run_supervised_hooked(
+        chain,
+        state,
+        rng,
+        store,
+        opts,
+        heartbeat,
+        observe,
+        &mut ClosureHooks(on_chunk),
+    )
+}
+
+/// [`run_supervised`] with full [`SupervisedHooks`]: identical ladder and
+/// determinism contract, plus sidecar ([`SupervisedHooks::encode_aux`])
+/// persistence inside every snapshot and restoration on resume and
+/// rollback.
+///
+/// # Errors
+///
+/// As [`run_supervised`]; additionally surfaces a sidecar that fails to
+/// restore as [`CheckpointError::Corrupt`].
+///
+/// # Panics
+///
+/// Panics if `opts.every` is 0.
+#[allow(clippy::too_many_arguments)] // the ladder genuinely takes this many collaborators
+#[allow(clippy::too_many_lines)] // one straight-line ladder; splitting obscures the flow
+pub fn run_supervised_hooked<C, R, F, H>(
+    chain: &C,
+    state: &mut C::State,
+    rng: &mut R,
+    store: &CheckpointStore,
+    opts: &SupervisedOptions,
+    heartbeat: &Heartbeat,
+    mut observe: F,
+    hooks: &mut H,
+) -> Result<SupervisedRun, CheckpointError>
+where
+    C: MarkovChain,
+    C::State: StateCodec + Auditable + Repairable,
+    R: Rng + SnapshotRng + ?Sized,
+    F: FnMut(&C::State) -> f64,
+    H: SupervisedHooks<C::State> + ?Sized,
 {
     assert!(opts.every > 0, "supervised chunk length must be positive");
 
@@ -365,6 +461,12 @@ where
                     path: store.dir().to_path_buf(),
                     reason,
                 })?;
+            hooks
+                .restore_aux(ckpt.step, &ckpt.aux)
+                .map_err(|reason| CheckpointError::Corrupt {
+                    path: store.dir().to_path_buf(),
+                    reason,
+                })?;
             t = ckpt.step;
             accepted = ckpt.accepted;
             log = ckpt.log;
@@ -382,6 +484,7 @@ where
     // written yet, the ladder restores this entry-point snapshot.
     let initial_state = state.encode_state();
     let initial_rng = rng.rng_state();
+    let initial_aux = hooks.encode_aux();
     let initial_t = t;
     let initial_accepted = accepted;
     let initial_log = log.clone();
@@ -412,7 +515,7 @@ where
         accepted += chain.run(state, burst, rng);
         t += burst;
         heartbeat.beat(t);
-        let flow = on_chunk(t, state);
+        let flow = hooks.on_chunk(t, state);
 
         // The escalation ladder.
         let violations = state.audit_violations();
@@ -464,6 +567,15 @@ where
                                 reason,
                             }
                         })?;
+                        // The sidecar rolls back with the state, so the
+                        // replayed span feeds the hooks the same stream a
+                        // fault-free run would have.
+                        hooks.restore_aux(to, &ckpt.aux).map_err(|reason| {
+                            CheckpointError::Corrupt {
+                                path: store.dir().to_path_buf(),
+                                reason,
+                            }
+                        })?;
                         accepted = ckpt.accepted;
                         log = ckpt.log;
                         last_durable_step = Some(to);
@@ -482,6 +594,12 @@ where
                                 reason,
                             }
                         })?;
+                        hooks
+                            .restore_aux(initial_t, &initial_aux)
+                            .map_err(|reason| CheckpointError::Corrupt {
+                                path: store.dir().to_path_buf(),
+                                reason,
+                            })?;
                         accepted = initial_accepted;
                         log = initial_log.clone();
                         initial_t
@@ -499,7 +617,14 @@ where
         }
 
         log.push((t, observe(state)));
-        match store.save_parts(t, accepted, &rng.rng_state(), &log, state) {
+        match store.save_parts_aux(
+            t,
+            accepted,
+            &rng.rng_state(),
+            &log,
+            state,
+            &hooks.encode_aux(),
+        ) {
             Ok(_) => {
                 snapshots_written += 1;
                 last_durable_step = Some(t);

@@ -1,7 +1,45 @@
 //! Empirical distributions and time-series statistics for simulation output.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::Hash;
+
+/// Typed failure modes of the time-series estimators.
+///
+/// The strict `try_*` estimator variants return these instead of panicking,
+/// so supervised sweep cells can classify a degenerate series (a frozen or
+/// fully-converged chain emits a *constant* observable) instead of aborting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsError {
+    /// The series holds fewer samples than the estimator needs.
+    TooShort {
+        /// Minimum sample count the estimator requires.
+        needed: usize,
+        /// Sample count actually provided.
+        got: usize,
+    },
+    /// The series is constant, so variance-normalized quantities
+    /// (autocorrelations and everything built on them) are undefined.
+    ConstantSeries,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::TooShort { needed, got } => {
+                write!(f, "series too short: need {needed} samples, got {got}")
+            }
+            StatsError::ConstantSeries => {
+                write!(
+                    f,
+                    "series is constant; variance-normalized statistics undefined"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
 
 /// An empirical distribution over observed states.
 ///
@@ -160,6 +198,12 @@ impl Summary {
     }
 
     /// Half-width of a ~95% normal confidence interval for the mean.
+    ///
+    /// **Assumes i.i.d. samples.** Chain observables are autocorrelated, so
+    /// `n` overstates the information content of the series and this
+    /// half-width is too narrow — for Markov-chain output use
+    /// [`Summary::ci95_half_width_ess`] with the effective sample size
+    /// ([`effective_sample_size`]) instead.
     #[must_use]
     pub fn ci95_half_width(&self) -> f64 {
         if self.n < 2 {
@@ -167,6 +211,50 @@ impl Summary {
         }
         1.96 * self.std_dev / (self.n as f64).sqrt()
     }
+
+    /// Half-width of a ~95% normal confidence interval for the mean,
+    /// adjusted for autocorrelation: divides by `√ESS` instead of `√n`.
+    ///
+    /// `ess` is clamped to `[0, n]` — the effective sample count can never
+    /// exceed the raw count. Returns `INFINITY` when the (clamped)
+    /// effective sample size is below 2, mirroring the i.i.d. variant's
+    /// behavior for `n < 2`.
+    #[must_use]
+    pub fn ci95_half_width_ess(&self, ess: f64) -> f64 {
+        // The NaN/degenerate check must precede the clamp: `NaN.min(n)`
+        // evaluates to `n`, which would silently treat garbage as i.i.d.
+        if ess.is_nan() || ess < 2.0 {
+            return f64::INFINITY;
+        }
+        let ess = ess.min(self.n as f64);
+        1.96 * self.std_dev / ess.sqrt()
+    }
+}
+
+/// Lag-`k` sample autocorrelation of a series, with typed errors for
+/// degenerate input.
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] when `series.len() <= k` and
+/// [`StatsError::ConstantSeries`] when the series has zero variance.
+pub fn try_autocorrelation(series: &[f64], k: usize) -> Result<f64, StatsError> {
+    if series.len() <= k {
+        return Err(StatsError::TooShort {
+            needed: k + 1,
+            got: series.len(),
+        });
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+    if var <= 0.0 {
+        return Err(StatsError::ConstantSeries);
+    }
+    let cov: f64 = (0..n - k)
+        .map(|i| (series[i] - mean) * (series[i + k] - mean))
+        .sum();
+    Ok(cov / var)
 }
 
 /// Lag-`k` sample autocorrelation of a series.
@@ -174,59 +262,103 @@ impl Summary {
 /// Chain observables (perimeter, heterogeneous edges) are heavily
 /// autocorrelated; the harness uses this to pick subsampling intervals.
 ///
-/// # Panics
-///
-/// Panics if `series.len() <= k` or the series is constant.
+/// Total on degenerate input (a frozen or fully-converged chain emits
+/// exactly these series, so they must never abort a supervised cell):
+/// a *constant* series is treated as perfectly correlated (`ρ(k) = 1`),
+/// and a series with at most `k` samples carries no lag-`k` evidence
+/// (`ρ(k) = 0`). Use [`try_autocorrelation`] to distinguish these cases
+/// as typed errors instead.
 #[must_use]
 pub fn autocorrelation(series: &[f64], k: usize) -> f64 {
-    assert!(series.len() > k, "need more than {k} samples for lag {k}");
-    let n = series.len();
-    let mean = series.iter().sum::<f64>() / n as f64;
-    let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
-    assert!(
-        var > 0.0,
-        "autocorrelation of a constant series is undefined"
-    );
-    let cov: f64 = (0..n - k)
-        .map(|i| (series[i] - mean) * (series[i + k] - mean))
-        .sum();
-    cov / var
+    match try_autocorrelation(series, k) {
+        Ok(rho) => rho,
+        Err(StatsError::ConstantSeries) => 1.0,
+        Err(StatsError::TooShort { .. }) => 0.0,
+    }
 }
 
 /// Integrated autocorrelation time
 /// `τ_int = 1 + 2 Σ_{k≥1} ρ(k)`, with the sum truncated at the first
 /// non-positive autocorrelation (the standard initial-positive-sequence
-/// estimator). Chain observables decorrelate after ~τ_int steps, so the
-/// *effective* sample count of a series is `n / τ_int`
+/// estimator of Geyer). Chain observables decorrelate after ~τ_int steps,
+/// so the *effective* sample count of a series is `n / τ_int`
 /// ([`effective_sample_size`]). The experiment harness uses this to choose
-/// subsampling gaps.
+/// subsampling gaps, and the convergence engine
+/// ([`crate::convergence`]) uses it to decide when a cell has mixed.
 ///
-/// # Panics
+/// The centered series and its variance are computed once, and each lag
+/// adds a single dot product over the overlap — `O(n · k_stop)` total,
+/// where `k_stop` is the truncation lag — instead of the naive
+/// recompute-per-lag `O(n²)` loop.
 ///
-/// Panics on series shorter than 2 samples or constant series.
-#[must_use]
-pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
-    assert!(series.len() >= 2, "need at least two samples");
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] for fewer than 2 samples and
+/// [`StatsError::ConstantSeries`] for a zero-variance series.
+pub fn try_integrated_autocorrelation_time(series: &[f64]) -> Result<f64, StatsError> {
+    let n = series.len();
+    if n < 2 {
+        return Err(StatsError::TooShort { needed: 2, got: n });
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = series.iter().map(|x| x - mean).collect();
+    let var: f64 = centered.iter().map(|c| c * c).sum();
+    if var <= 0.0 {
+        return Err(StatsError::ConstantSeries);
+    }
     let mut tau = 1.0;
-    for k in 1..series.len() - 1 {
-        let rho = autocorrelation(series, k);
+    for k in 1..n - 1 {
+        let cov: f64 = centered[..n - k]
+            .iter()
+            .zip(&centered[k..])
+            .map(|(a, b)| a * b)
+            .sum();
+        let rho = cov / var;
         if rho <= 0.0 {
             break;
         }
         tau += 2.0 * rho;
     }
-    tau
+    Ok(tau)
+}
+
+/// Total-function form of [`try_integrated_autocorrelation_time`], with
+/// the degenerate cases given their natural limits: a series shorter than
+/// 2 samples has `τ_int = 1` (nothing to correlate), and a *constant*
+/// series of `n` samples is fully correlated — `τ_int = n`, so its
+/// effective sample size is exactly 1.
+#[must_use]
+pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
+    match try_integrated_autocorrelation_time(series) {
+        Ok(tau) => tau,
+        Err(StatsError::TooShort { .. }) => 1.0,
+        Err(StatsError::ConstantSeries) => series.len() as f64,
+    }
 }
 
 /// Effective number of independent samples in an autocorrelated series:
 /// `n / τ_int`.
 ///
-/// # Panics
-///
-/// Panics on series shorter than 2 samples or constant series.
+/// Total on degenerate input: an empty series has 0 effective samples, a
+/// single sample counts as 1, and a constant series of any length counts
+/// as exactly 1 (its `τ_int` is `n`). Use
+/// [`try_effective_sample_size`] for typed errors instead.
 #[must_use]
 pub fn effective_sample_size(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
     series.len() as f64 / integrated_autocorrelation_time(series)
+}
+
+/// Strict form of [`effective_sample_size`].
+///
+/// # Errors
+///
+/// Returns [`StatsError::TooShort`] for fewer than 2 samples and
+/// [`StatsError::ConstantSeries`] for a zero-variance series.
+pub fn try_effective_sample_size(series: &[f64]) -> Result<f64, StatsError> {
+    try_integrated_autocorrelation_time(series).map(|tau| series.len() as f64 / tau)
 }
 
 #[cfg(test)]
@@ -359,5 +491,105 @@ mod tests {
     fn autocorrelation_lag_zero_is_one() {
         let series: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
         assert!((autocorrelation(&series, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_never_panics_and_has_defined_values() {
+        // A frozen (fully converged) chain emits exactly this.
+        let series = vec![42.0; 100];
+        assert_eq!(autocorrelation(&series, 1), 1.0);
+        assert_eq!(autocorrelation(&series, 99), 1.0);
+        assert_eq!(integrated_autocorrelation_time(&series), 100.0);
+        assert_eq!(effective_sample_size(&series), 1.0);
+        // The strict variants classify the degeneracy instead.
+        assert_eq!(
+            try_autocorrelation(&series, 1),
+            Err(StatsError::ConstantSeries)
+        );
+        assert_eq!(
+            try_integrated_autocorrelation_time(&series),
+            Err(StatsError::ConstantSeries)
+        );
+        assert_eq!(
+            try_effective_sample_size(&series),
+            Err(StatsError::ConstantSeries)
+        );
+    }
+
+    #[test]
+    fn short_series_never_panics_and_has_defined_values() {
+        assert_eq!(autocorrelation(&[], 0), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+        assert_eq!(integrated_autocorrelation_time(&[]), 1.0);
+        assert_eq!(integrated_autocorrelation_time(&[3.0]), 1.0);
+        assert_eq!(effective_sample_size(&[]), 0.0);
+        assert_eq!(effective_sample_size(&[3.0]), 1.0);
+        assert_eq!(
+            try_autocorrelation(&[1.0], 1),
+            Err(StatsError::TooShort { needed: 2, got: 1 })
+        );
+        assert_eq!(
+            try_integrated_autocorrelation_time(&[1.0]),
+            Err(StatsError::TooShort { needed: 2, got: 1 })
+        );
+    }
+
+    /// The single-pass estimator must agree with the textbook
+    /// recompute-per-lag formula on non-degenerate series.
+    #[test]
+    fn single_pass_tau_matches_reference_estimator() {
+        fn reference_tau(series: &[f64]) -> f64 {
+            // The pre-optimization O(n²) loop, verbatim minus the asserts.
+            let n = series.len();
+            let mut tau = 1.0;
+            for k in 1..n - 1 {
+                let mean = series.iter().sum::<f64>() / n as f64;
+                let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+                let cov: f64 = (0..n - k)
+                    .map(|i| (series[i] - mean) * (series[i + k] - mean))
+                    .sum();
+                let rho = cov / var;
+                if rho <= 0.0 {
+                    break;
+                }
+                tau += 2.0 * rho;
+            }
+            tau
+        }
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f64 / 10.0
+        };
+        // Mix of i.i.d.-like and sticky (block-repeated) series.
+        for block in [1usize, 3, 17, 50] {
+            let raw: Vec<f64> = (0..600).map(|_| next()).collect();
+            let series: Vec<f64> = (0..600).map(|i| raw[i / block * block]).collect();
+            let fast = integrated_autocorrelation_time(&series);
+            let slow = reference_tau(&series);
+            assert!(
+                (fast - slow).abs() <= 1e-9 * slow.max(1.0),
+                "block {block}: fast {fast} vs reference {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn ess_adjusted_ci_widens_with_autocorrelation() {
+        let series: Vec<f64> = (0..1000)
+            .map(|i| f64::from(u32::from((i / 50) % 2 == 0)))
+            .collect();
+        let s = Summary::of(&series);
+        let ess = effective_sample_size(&series);
+        let iid = s.ci95_half_width();
+        let adjusted = s.ci95_half_width_ess(ess);
+        assert!(adjusted > iid, "adjusted {adjusted} <= iid {iid}");
+        // ESS above n is clamped back to the i.i.d. width, never narrower.
+        assert!((s.ci95_half_width_ess(1e9) - iid).abs() < 1e-12);
+        // Degenerate ESS yields an unbounded interval, not a panic.
+        assert_eq!(s.ci95_half_width_ess(0.0), f64::INFINITY);
+        assert_eq!(s.ci95_half_width_ess(f64::NAN), f64::INFINITY);
     }
 }

@@ -86,6 +86,7 @@ fn reference() -> Reference {
             rng_state: rng.rng_state(),
             log: log.clone(),
             state,
+            aux: Vec::new(),
         }
         .to_text();
         texts.push((t, text));
@@ -239,6 +240,7 @@ fn completed_save_survives_crash_thanks_to_dir_fsync() {
             rng_state: vec![7; 32],
             log: vec![(0, 0.0), (500, 1.0)],
             state: 42u64,
+            aux: Vec::new(),
         })
         .unwrap();
     vfs.crash(CrashStyle::DropUnsynced);
@@ -259,6 +261,7 @@ fn crash_between_sync_and_rename_leaves_a_reapable_tmp() {
             rng_state: vec![1; 32],
             log: vec![],
             state: 9u64,
+            aux: Vec::new(),
         })
         .unwrap();
     // Kill right after the *next* save fsyncs its tmp file (ops: create,
@@ -273,6 +276,7 @@ fn crash_between_sync_and_rename_leaves_a_reapable_tmp() {
             rng_state: vec![2; 32],
             log: vec![],
             state: 10u64,
+            aux: Vec::new(),
         })
         .unwrap_err();
     assert!(err.to_string().contains("simulated crash"), "{err}");
@@ -302,6 +306,7 @@ fn transient_enospc_fails_one_save_then_recovers() {
         rng_state: vec![5; 32],
         log: vec![(0, 0.5)],
         state: 11u64,
+        aux: Vec::new(),
     };
     // Fail the write op of the upcoming save (ops: create, write, ...).
     vfs.enospc_at(vfs.op_count() + 1);

@@ -10,12 +10,14 @@
 //! cancel token), and any budget trip ends the job degraded — with its
 //! last durable checkpoint step on record — instead of wedged or failed.
 
+use std::cell::{Cell, RefCell};
 use std::ops::ControlFlow;
 
 use rand::Rng;
 use sops_chains::{
-    run_supervised, Auditable, CancelKind, CheckpointError, CheckpointStore, MarkovChain,
-    Repairable, SnapshotRng, StateCodec, SupervisedOptions, SupervisedRun,
+    run_supervised, run_supervised_hooked, Auditable, AuxCodec, CancelKind, CheckpointError,
+    CheckpointStore, ConvergenceMonitor, Diagnostics, MarkovChain, Repairable, SnapshotRng,
+    StateCodec, SupervisedHooks, SupervisedOptions, SupervisedRun,
 };
 
 use crate::error::{DegradeReason, JobError};
@@ -130,6 +132,212 @@ where
             on_chunk,
         ),
     }
+}
+
+/// Why a monitored chain job stopped short of its step request for a
+/// *good* reason (as opposed to a [`DegradeReason`], which records budget
+/// trips and cancellations).
+#[derive(Clone, Debug, PartialEq)]
+pub enum StopReason {
+    /// Every gating stopping rule held: the chain is statistically
+    /// converged and the rest of the step budget was left unspent.
+    Converged {
+        /// Step count at which the monitor latched its decision.
+        step: u64,
+        /// The monitor's diagnostics snapshot at decision time
+        /// (acceptance plateau delta, ESS, split-R̂, certificate streak).
+        diagnostics: Diagnostics,
+    },
+}
+
+/// [`SupervisedHooks`] adapter that feeds every chunk-boundary sample to
+/// a [`ConvergenceMonitor`] and serializes the monitor's decision state
+/// into the checkpoint sidecar, so a killed-and-resumed run replays to
+/// the bit-identical stop decision.
+struct MonitorHooks<'a, 'm, 'ctx, F, P, G> {
+    ctx: &'a JobContext<'ctx>,
+    monitor: &'a RefCell<&'m mut ConvergenceMonitor>,
+    sample: &'a RefCell<F>,
+    certify: P,
+    on_chunk: G,
+    deadline_tripped: &'a Cell<bool>,
+}
+
+impl<S, F, P, G> SupervisedHooks<S> for MonitorHooks<'_, '_, '_, F, P, G>
+where
+    F: FnMut(&S) -> f64,
+    P: FnMut(&S) -> bool,
+    G: FnMut(u64, &mut S) -> ControlFlow<()>,
+{
+    fn on_chunk(&mut self, step: u64, state: &mut S) -> ControlFlow<()> {
+        // Deadline before monitor: a tripped deadline must not be
+        // mistaken for (or masked by) a convergence stop.
+        if self.ctx.deadline_exceeded() {
+            self.deadline_tripped.set(true);
+            return ControlFlow::Break(());
+        }
+        let value = (self.sample.borrow_mut())(state);
+        let certified = (self.certify)(state);
+        let mut monitor = self.monitor.borrow_mut();
+        monitor.observe(step, value, certified);
+        if monitor.converged().is_some() {
+            return ControlFlow::Break(());
+        }
+        drop(monitor);
+        (self.on_chunk)(step, state)
+    }
+
+    fn encode_aux(&self) -> Vec<u8> {
+        self.monitor.borrow().encode_aux()
+    }
+
+    fn restore_aux(&mut self, step: u64, bytes: &[u8]) -> Result<(), String> {
+        self.monitor.borrow_mut().restore_aux(step, bytes)
+    }
+}
+
+/// Runs a chain job like [`run_chain`], but under a
+/// [`ConvergenceMonitor`]: at every chunk boundary the monitor observes
+/// `sample(state)` and `certify(state)`, and once its stopping rules all
+/// hold the job ends early with `Ok` status, a
+/// [`RuntimeEvent::Converged`] on the context, and
+/// [`StopReason::Converged`] in the returned pair.
+///
+/// On the supervised path the monitor's decision state rides the
+/// checkpoint aux sidecar: a killed run resumed against the same store
+/// replays to the *bit-identical* stop decision (same step, same
+/// diagnostics), and rollback restores the monitor alongside the chain
+/// state so replayed spans are not double-counted.
+///
+/// The monitor is borrowed rather than constructed here so callers
+/// choose the rule stack; build a fresh monitor per attempt — retries
+/// resume it from the store's sidecar (supervised) or must start clean
+/// (storeless).
+///
+/// # Errors
+///
+/// Same failure surface as [`run_chain`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_chain_monitored<C, R, F, P, G>(
+    ctx: &JobContext<'_>,
+    chain: &C,
+    state: &mut C::State,
+    rng: &mut R,
+    job: ChainJob<'_>,
+    monitor: &mut ConvergenceMonitor,
+    sample: F,
+    mut certify: P,
+    mut on_chunk: G,
+) -> Result<(SupervisedRun, Option<StopReason>), JobError>
+where
+    C: MarkovChain,
+    C::State: StateCodec + Auditable + Repairable,
+    R: Rng + SnapshotRng + ?Sized,
+    F: FnMut(&C::State) -> f64,
+    P: FnMut(&C::State) -> bool,
+    G: FnMut(u64, &mut C::State) -> ControlFlow<()>,
+{
+    let steps = ctx.budget().clamp_steps(job.steps);
+    let step_capped = steps < job.steps;
+    // The sample closure doubles as the run's `observe` and the monitor's
+    // feed; `RefCell` lets both seams share one `FnMut`. Same for the
+    // monitor, which the hooks need during the run and this function
+    // needs afterwards.
+    let sample = RefCell::new(sample);
+    let shared = RefCell::new(monitor);
+    let run = match job.store {
+        Some(store) => {
+            let store = store.clone().with_cancel(ctx.cancel_token());
+            let opts = SupervisedOptions {
+                steps,
+                every: job.every,
+                max_rollbacks: ctx.budget().max_rollbacks,
+            };
+            let deadline_tripped = Cell::new(false);
+            let mut hooks = MonitorHooks {
+                ctx,
+                monitor: &shared,
+                sample: &sample,
+                certify,
+                on_chunk,
+                deadline_tripped: &deadline_tripped,
+            };
+            let run = run_supervised_hooked(
+                chain,
+                state,
+                rng,
+                &store,
+                &opts,
+                ctx.heartbeat,
+                |s| (sample.borrow_mut())(s),
+                &mut hooks,
+            )
+            .map_err(|e| match e {
+                CheckpointError::Cancelled => JobError::Cancelled {
+                    reason: ctx.cancel_reason(),
+                    step: ctx.heartbeat.steps(),
+                },
+                other => JobError::from(other),
+            })?;
+            ctx.absorb(&run);
+            if deadline_tripped.get() {
+                ctx.note_degraded(DegradeReason::DeadlineExceeded, run.last_durable_step);
+            } else if step_capped
+                && run.completed
+                && run.steps >= steps
+                && shared.borrow().converged().is_none()
+            {
+                ctx.note_degraded(DegradeReason::StepBudgetExhausted, run.last_durable_step);
+            }
+            run
+        }
+        None => {
+            // The plain loop would report `StepBudgetExhausted` itself
+            // without knowing about convergence; suppress its check
+            // (`step_capped: false`) and re-run it monitor-aware below.
+            let run = run_plain(
+                ctx,
+                chain,
+                state,
+                rng,
+                &job,
+                steps,
+                false,
+                |s| (sample.borrow_mut())(s),
+                |t, s: &mut C::State| {
+                    let value = (sample.borrow_mut())(s);
+                    let certified = certify(s);
+                    let mut monitor = shared.borrow_mut();
+                    monitor.observe(t, value, certified);
+                    if monitor.converged().is_some() {
+                        return ControlFlow::Break(());
+                    }
+                    drop(monitor);
+                    on_chunk(t, s)
+                },
+            )?;
+            if step_capped
+                && run.completed
+                && run.steps >= steps
+                && shared.borrow().converged().is_none()
+            {
+                ctx.note_degraded(DegradeReason::StepBudgetExhausted, None);
+            }
+            run
+        }
+    };
+    let monitor = shared.into_inner();
+    let stop = monitor.converged().map(|(step, diagnostics)| {
+        ctx.emit(RuntimeEvent::Converged {
+            step,
+            diagnostics: diagnostics.to_json(),
+        });
+        StopReason::Converged {
+            step,
+            diagnostics: diagnostics.clone(),
+        }
+    });
+    Ok((run, stop))
 }
 
 /// The storeless chunk loop: no rollback ladder (there is nothing to roll
@@ -410,6 +618,124 @@ mod tests {
         // The checkpoint named by the status is durable and loadable.
         let rec = store.recover::<Counter>().unwrap();
         assert_eq!(rec.checkpoint.unwrap().step, 4_000);
+    }
+
+    /// A monitor stack tuned for the frozen `Frozen` chain below: plateau
+    /// plus certificate, gating after a handful of samples.
+    fn tight_monitor() -> ConvergenceMonitor {
+        ConvergenceMonitor::new(6)
+            .with_rule(Box::new(sops_chains::PlateauRule::new(3, 0.05)))
+            .with_rule(Box::new(sops_chains::CertificateRule::new(2)))
+    }
+
+    /// A chain that stops moving after 5000 accepted steps, so its
+    /// observable plateaus and the separation certificate holds.
+    struct Freezes;
+
+    impl MarkovChain for Freezes {
+        type State = Counter;
+        fn step<R: Rng + ?Sized>(&self, s: &mut Counter, rng: &mut R) -> bool {
+            if s.x < 5_000 && rng.random_range(0..2u8) == 0 {
+                s.x += 1;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn monitored_storeless_run_stops_converged_not_degraded() {
+        let opts = SweepOptions {
+            budget: ResourceBudget {
+                max_steps: Some(400_000),
+                ..ResourceBudget::default()
+            },
+            ..fast_opts()
+        };
+        let outcomes = run_cells(vec!["cell"], &opts, |_, ctx| {
+            let mut state = Counter { x: 0 };
+            let mut rng = StdRng::seed_from_u64(11);
+            let job = ChainJob {
+                steps: 1_000_000,
+                every: 1_000,
+                store: None,
+                audit_every: None,
+            };
+            let mut monitor = tight_monitor();
+            let (run, stop) = run_chain_monitored(
+                ctx,
+                &Freezes,
+                &mut state,
+                &mut rng,
+                job,
+                &mut monitor,
+                |s| s.x as f64,
+                |s| s.x >= 5_000,
+                |_, _| ControlFlow::Continue(()),
+            )?;
+            let Some(StopReason::Converged { step, diagnostics }) = stop else {
+                panic!("expected a convergence stop, got {stop:?}");
+            };
+            assert!(step < run.steps + 1, "stop step precedes run end");
+            assert!(diagnostics.get("certificate_streak").unwrap() >= 2.0);
+            Ok(step)
+        });
+        // Converged well before the (clamped) budget, and the step cap
+        // must NOT be reported as a degradation.
+        let stop_step = outcomes[0].result.expect("cell result");
+        assert!(stop_step < 400_000);
+        assert_eq!(outcomes[0].status, CellStatus::Ok);
+    }
+
+    #[test]
+    fn monitored_supervised_run_emits_event_and_persists_sidecar() {
+        let scratch = Scratch::new("monitored");
+        let store = CheckpointStore::open(&scratch.0, 3).unwrap();
+        let outcomes = run_cells(vec!["cell"], &fast_opts(), |_, ctx| {
+            let mut state = Counter { x: 0 };
+            let mut rng = StdRng::seed_from_u64(11);
+            let job = ChainJob {
+                steps: 1_000_000,
+                every: 1_000,
+                store: Some(&store),
+                audit_every: None,
+            };
+            let mut monitor = tight_monitor();
+            let (_, stop) = run_chain_monitored(
+                ctx,
+                &Freezes,
+                &mut state,
+                &mut rng,
+                job,
+                &mut monitor,
+                |s| s.x as f64,
+                |s| s.x >= 5_000,
+                |_, _| ControlFlow::Continue(()),
+            )?;
+            let Some(StopReason::Converged { step, .. }) = stop else {
+                panic!("expected a convergence stop, got {stop:?}");
+            };
+            Ok(step)
+        });
+        assert_eq!(outcomes[0].status, CellStatus::Ok);
+        assert!(
+            outcomes[0].events.iter().any(|e| e.kind() == "converged"),
+            "converged event reaches the cell outcome: {:?}",
+            outcomes[0].events
+        );
+        // The monitor's decision state rode the checkpoint sidecar: a
+        // fresh monitor restored from the store replays to the same
+        // latched decision without seeing a single new sample.
+        let rec = store.recover::<Counter>().unwrap();
+        let ckpt = rec.checkpoint.unwrap();
+        assert!(!ckpt.aux.is_empty(), "aux sidecar persisted");
+        let mut restored = tight_monitor();
+        restored.restore_aux(ckpt.step, &ckpt.aux).unwrap();
+        assert_eq!(
+            restored.converged().map(|(s, _)| s),
+            Some(outcomes[0].result.unwrap())
+        );
     }
 
     #[test]

@@ -48,6 +48,16 @@ pub enum RuntimeEvent {
         /// The newest durable checkpoint step, if any was persisted.
         last_durable_step: Option<u64>,
     },
+    /// The convergence monitor latched a stop decision and the job ended
+    /// early with its budget unspent.
+    Converged {
+        /// Step count at which the stopping rules all held.
+        step: u64,
+        /// The monitor's diagnostics snapshot at decision time, pre-
+        /// rendered as a JSON object (kept as a string so the event stays
+        /// `Eq`-comparable despite carrying float estimates).
+        diagnostics: String,
+    },
 }
 
 impl RuntimeEvent {
@@ -60,6 +70,7 @@ impl RuntimeEvent {
             RuntimeEvent::RolledBack { .. } => "rolled_back",
             RuntimeEvent::Cancelled { .. } => "cancelled",
             RuntimeEvent::Degraded { .. } => "degraded",
+            RuntimeEvent::Converged { .. } => "converged",
         }
     }
 
@@ -105,6 +116,10 @@ impl RuntimeEvent {
                     reason.code()
                 )
             }
+            RuntimeEvent::Converged { step, diagnostics } => {
+                // `diagnostics` is already a JSON object; embed it raw.
+                format!("{{\"event\": \"converged\", \"step\": {step}, \"diagnostics\": {diagnostics}}}")
+            }
         }
     }
 
@@ -148,5 +163,15 @@ mod tests {
             .telemetry_line()
             .starts_with("{\"kind\": \"runtime_event\""));
         assert!(e.telemetry_line().contains("\"cancel_kind\": \"stalled\""));
+        let e = RuntimeEvent::Converged {
+            step: 50_000,
+            diagnostics: "{\"samples\": 12, \"r_hat\": 1.01}".to_string(),
+        };
+        assert_eq!(e.kind(), "converged");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\": \"converged\", \"step\": 50000, \
+             \"diagnostics\": {\"samples\": 12, \"r_hat\": 1.01}}"
+        );
     }
 }

@@ -29,7 +29,12 @@
 //!   `catch_unwind` isolation, retries, the watchdog, and typed outcomes;
 //! * [`run_chain`] — the one chunk-loop every chain-driving bin shares:
 //!   supervised (checkpointed, self-healing) when a store is configured,
-//!   plain chunked execution otherwise, with budget checks either way.
+//!   plain chunked execution otherwise, with budget checks either way;
+//! * [`run_chain_monitored`] — the same loop under a
+//!   [`ConvergenceMonitor`]: stops early with
+//!   [`StopReason::Converged`] once the stopping rules hold, and
+//!   serializes the monitor's decision state into the checkpoint sidecar
+//!   so resumed runs replay to bit-identical stop decisions.
 //!
 //! The recovery ladder itself ([`run_supervised`], [`Heartbeat`],
 //! [`Repairable`]) lives in `sops-chains`; this crate re-exports it so
@@ -51,7 +56,7 @@ mod seeds;
 
 pub use backoff::BackoffPolicy;
 pub use budget::ResourceBudget;
-pub use chain_job::{run_chain, ChainJob};
+pub use chain_job::{run_chain, run_chain_monitored, ChainJob, StopReason};
 pub use error::{DegradeReason, JobError};
 pub use events::RuntimeEvent;
 pub use monitor::{MonitorState, StallPolicy};
@@ -65,4 +70,10 @@ pub use seeds::{seed_hash, seed_hash_attempt, seeded, seeded_attempt};
 pub use sops_chains::{
     run_supervised, CancelKind, CancelToken, CheckpointError, CheckpointStore, Heartbeat,
     RecoveryEvent, Repairable, SupervisedOptions, SupervisedRun,
+};
+
+// The convergence engine, re-exported for the same reason: sweep bins
+// build their monitor rule stacks against `sops-runtime` alone.
+pub use sops_chains::{
+    CertificateRule, ConvergenceMonitor, Diagnostics, EssRule, PlateauRule, RHatRule, StoppingRule,
 };

@@ -7,7 +7,10 @@
 //! configuration invariants from scratch every `N` steps, `--retries K`
 //! bounds per-cell retry attempts, `--backoff-ms B` sets the base retry
 //! backoff, `--stall-ms S` arms the stall watchdog, `--no-telemetry`
-//! suppresses the per-cell JSONL metric streams, `--threads T` selects
+//! suppresses the per-cell JSONL metric streams, `--adaptive` runs cells
+//! under the streaming convergence engine (stop when mixed instead of
+//! burning the full budget), `--smoke` (or env `SOPS_BENCH_SMOKE=1`)
+//! shrinks grids and budgets for CI, `--threads T` selects
 //! the sharded parallel proposal engine (`sops-core`'s
 //! `SeparationChain::run_parallel`) with `T` worker threads per cell
 //! (`1`, the default, keeps the sequential kernel), and the
@@ -50,6 +53,14 @@ pub struct SweepOptions {
     /// the sequential kernel. Changing this changes the proposal schedule,
     /// so trajectories are only reproducible for a fixed thread count.
     pub threads: usize,
+    /// Whether to run cells under the adaptive convergence engine
+    /// (`--adaptive`): streaming stopping rules end a cell as soon as its
+    /// observable has demonstrably settled instead of burning the full
+    /// step budget, and convergence diagnostics land in the cells report.
+    pub adaptive: bool,
+    /// Smoke mode (`--smoke` or `SOPS_BENCH_SMOKE=1` via
+    /// [`SweepOptions::from_args`]): shrink grids and budgets for CI.
+    pub smoke: bool,
 }
 
 impl Default for SweepOptions {
@@ -64,6 +75,8 @@ impl Default for SweepOptions {
             stall: None,
             budget: ResourceBudget::default(),
             threads: 1,
+            adaptive: false,
+            smoke: false,
         }
     }
 }
@@ -74,7 +87,13 @@ impl SweepOptions {
     /// extra context.
     #[must_use]
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1))
+        let mut opts = Self::parse(std::env::args().skip(1));
+        // The CI smoke legs select smoke mode via the environment; the
+        // flag exists so local runs can do the same without exporting.
+        if std::env::var("SOPS_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+            opts.smoke = true;
+        }
+        opts
     }
 
     pub(crate) fn parse(args: impl IntoIterator<Item = String>) -> Self {
@@ -151,6 +170,8 @@ impl SweepOptions {
                     assert!(threads > 0, "--threads requires at least one thread");
                     opts.threads = threads;
                 }
+                "--adaptive" => opts.adaptive = true,
+                "--smoke" => opts.smoke = true,
                 "--no-telemetry" => opts.telemetry = false,
                 other => eprintln!("ignoring unknown flag {other:?}"),
             }
@@ -261,6 +282,8 @@ mod tests {
                 "64",
                 "--threads",
                 "4",
+                "--adaptive",
+                "--smoke",
                 "--no-telemetry",
                 "--bogus",
             ]
@@ -283,6 +306,8 @@ mod tests {
         assert_eq!(opts.budget.max_rollbacks, 5);
         assert_eq!(opts.budget.memory_ceiling_bytes, Some(64 * 1024 * 1024));
         assert_eq!(opts.threads, 4);
+        assert!(opts.adaptive);
+        assert!(opts.smoke);
         assert!(!opts.telemetry);
     }
 

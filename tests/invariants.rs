@@ -159,14 +159,16 @@ proptest! {
         accepted in any::<u64>(),
         rng_state in proptest::collection::vec(any::<u8>(), 0..64),
         log in proptest::collection::vec((any::<u64>(), any::<f64>()), 0..12),
+        aux in proptest::collection::vec(any::<u8>(), 0..32),
     ) {
         let state = random_config(n, n / 2, seed);
-        let ckpt = Checkpoint { step, accepted, rng_state, log, state };
+        let ckpt = Checkpoint { step, accepted, rng_state, log, state, aux };
         let text = ckpt.to_text();
         let back = Checkpoint::<Configuration>::from_text(&text).unwrap();
         prop_assert_eq!(back.step, ckpt.step);
         prop_assert_eq!(back.accepted, ckpt.accepted);
         prop_assert_eq!(&back.rng_state, &ckpt.rng_state);
+        prop_assert_eq!(&back.aux, &ckpt.aux);
         prop_assert_eq!(back.log.len(), ckpt.log.len());
         for (a, b) in back.log.iter().zip(&ckpt.log) {
             prop_assert_eq!(a.0, b.0);
@@ -192,6 +194,7 @@ proptest! {
             rng_state: vec![1, 2, 3, 4],
             log: vec![(0, 0.5), (10, 0.25)],
             state,
+            aux: vec![9, 8, 7],
         };
         let text = ckpt.to_text();
         let idx = position.index(text.len());
