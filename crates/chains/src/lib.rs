@@ -93,4 +93,4 @@ pub use telemetry::{
     ClassifiedChain, Instrumented, JsonlSink, OutcomeClass, RingBuffer, RunManifest,
     TelemetryReport,
 };
-pub use vfs::{CrashStyle, FaultyVfs, RealVfs, Vfs};
+pub use vfs::{reap_tmp_files, write_atomic, CrashStyle, FaultyVfs, RealVfs, Vfs};

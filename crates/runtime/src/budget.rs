@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::error::ConfigError;
+
 /// The resource envelope one sweep job executes within.
 ///
 /// Every bound is enforced at safe points (chunk boundaries, attempt
@@ -94,6 +96,41 @@ impl ResourceBudget {
             fit.clamp(16, 256)
         })
     }
+
+    /// Rejects nonsensical budgets that would otherwise pass through
+    /// silently and waste a whole run: a zero deadline (every job
+    /// degrades before its first step), retries with the rollback ladder
+    /// disabled (every retry replays into the same failure), and a
+    /// memory ceiling too small to hold even one checkpoint snapshot
+    /// (no durable resume point could ever be retained).
+    ///
+    /// Called by [`crate::SweepOptions::try_parse`] so bins reject these
+    /// at flag-parse time; programmatic construction stays unvalidated
+    /// because tests legitimately use degenerate budgets (e.g. a zero
+    /// deadline to prove the trip path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] the budget violates.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroDeadline);
+        }
+        if self.max_retries > 0 && self.max_rollbacks == 0 {
+            return Err(ConfigError::RetriesWithoutRollbacks {
+                retries: self.max_retries,
+            });
+        }
+        if let Some(ceiling) = self.memory_ceiling_bytes {
+            if ceiling < APPROX_SNAPSHOT_BYTES {
+                return Err(ConfigError::MemoryCeilingTooSmall {
+                    ceiling_bytes: ceiling,
+                    min_bytes: APPROX_SNAPSHOT_BYTES,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +182,51 @@ mod tests {
         };
         assert_eq!(big.checkpoint_retention(5), 5);
         assert_eq!(big.ring_capacity(), Some(256));
+    }
+
+    #[test]
+    fn validate_rejects_each_nonsensical_budget() {
+        assert_eq!(
+            ResourceBudget {
+                deadline: Some(Duration::ZERO),
+                ..ResourceBudget::default()
+            }
+            .validate(),
+            Err(ConfigError::ZeroDeadline)
+        );
+        assert_eq!(
+            ResourceBudget {
+                max_retries: 2,
+                max_rollbacks: 0,
+                ..ResourceBudget::default()
+            }
+            .validate(),
+            Err(ConfigError::RetriesWithoutRollbacks { retries: 2 })
+        );
+        assert_eq!(
+            ResourceBudget {
+                memory_ceiling_bytes: Some(APPROX_SNAPSHOT_BYTES - 1),
+                ..ResourceBudget::default()
+            }
+            .validate(),
+            Err(ConfigError::MemoryCeilingTooSmall {
+                ceiling_bytes: APPROX_SNAPSHOT_BYTES - 1,
+                min_bytes: APPROX_SNAPSHOT_BYTES,
+            })
+        );
+        // Zero retries with zero rollbacks is a legitimate fail-fast
+        // configuration, and one snapshot's worth of ceiling is viable.
+        assert_eq!(
+            ResourceBudget {
+                max_retries: 0,
+                max_rollbacks: 0,
+                memory_ceiling_bytes: Some(APPROX_SNAPSHOT_BYTES),
+                ..ResourceBudget::default()
+            }
+            .validate(),
+            Ok(())
+        );
+        assert_eq!(ResourceBudget::default().validate(), Ok(()));
     }
 
     #[test]

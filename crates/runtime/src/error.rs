@@ -176,6 +176,90 @@ impl fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
+/// A rejected configuration: a flag value or combination that would make
+/// a run silently meaningless (zero budgets, retries that can never
+/// replay, ceilings too small to hold one snapshot).
+///
+/// Returned by [`crate::SweepOptions::try_parse`] and
+/// [`crate::ResourceBudget::validate`] so bins fail loudly at parse time
+/// instead of spending hours on a run that was never viable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `--deadline-ms 0`: a zero wall-clock deadline degrades every job
+    /// before its first step.
+    ZeroDeadline,
+    /// `--retries N` (N > 0) combined with `--max-rollbacks 0`: retries
+    /// replay through the rollback ladder, so disabling rollbacks makes
+    /// every retry fail identically.
+    RetriesWithoutRollbacks {
+        /// The configured retry count.
+        retries: u32,
+    },
+    /// `--memory-mb` below the size of a single checkpoint snapshot: the
+    /// store could never retain even one durable resume point.
+    MemoryCeilingTooSmall {
+        /// The configured ceiling, in bytes.
+        ceiling_bytes: u64,
+        /// The minimum viable ceiling (one snapshot), in bytes.
+        min_bytes: u64,
+    },
+    /// A flag was given with no value following it.
+    MissingValue {
+        /// The flag name as typed.
+        flag: String,
+    },
+    /// A flag value failed to parse.
+    InvalidValue {
+        /// The flag name as typed.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl ConfigError {
+    /// The stable machine-readable code.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ConfigError::ZeroDeadline => "zero_deadline",
+            ConfigError::RetriesWithoutRollbacks { .. } => "retries_without_rollbacks",
+            ConfigError::MemoryCeilingTooSmall { .. } => "memory_ceiling_too_small",
+            ConfigError::MissingValue { .. } => "missing_value",
+            ConfigError::InvalidValue { .. } => "invalid_value",
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroDeadline => {
+                f.write_str("--deadline-ms 0 would degrade every job before its first step")
+            }
+            ConfigError::RetriesWithoutRollbacks { retries } => write!(
+                f,
+                "--retries {retries} with --max-rollbacks 0 can never make progress: \
+                 retries replay through the rollback ladder"
+            ),
+            ConfigError::MemoryCeilingTooSmall {
+                ceiling_bytes,
+                min_bytes,
+            } => write!(
+                f,
+                "memory ceiling of {ceiling_bytes} bytes cannot hold one checkpoint \
+                 snapshot (~{min_bytes} bytes); raise --memory-mb"
+            ),
+            ConfigError::MissingValue { flag } => write!(f, "flag {flag} expects a value"),
+            ConfigError::InvalidValue { flag, value } => {
+                write!(f, "invalid value for {flag}: {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl From<String> for JobError {
     fn from(message: String) -> Self {
         JobError::App { message }

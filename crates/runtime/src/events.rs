@@ -58,6 +58,42 @@ pub enum RuntimeEvent {
         /// `Eq`-comparable despite carrying float estimates).
         diagnostics: String,
     },
+    /// A job passed admission control and entered the service queue.
+    Admitted {
+        /// The submitting tenant.
+        tenant: String,
+        /// The session the job runs under.
+        session: String,
+        /// Queue depth immediately after admission (this job included).
+        queue_depth: u64,
+    },
+    /// A job was refused admission with a typed reason.
+    Rejected {
+        /// The submitting tenant.
+        tenant: String,
+        /// The session the job would have run under.
+        session: String,
+        /// Stable rejection code: `queue_full`, `tenant_quota_exceeded`,
+        /// or `draining`.
+        reason: &'static str,
+    },
+    /// A queued or in-flight job was evicted (drain deadline, shutdown,
+    /// or overload shedding).
+    Evicted {
+        /// The session the job ran under.
+        session: String,
+        /// Whether the session can resume from a durable checkpoint.
+        resumable: bool,
+        /// The newest durable checkpoint step, if any was persisted.
+        last_durable_step: Option<u64>,
+    },
+    /// A session resumed from its last durable checkpoint.
+    Resumed {
+        /// The session that resumed.
+        session: String,
+        /// The checkpoint step it resumed from.
+        from_step: u64,
+    },
 }
 
 impl RuntimeEvent {
@@ -71,6 +107,10 @@ impl RuntimeEvent {
             RuntimeEvent::Cancelled { .. } => "cancelled",
             RuntimeEvent::Degraded { .. } => "degraded",
             RuntimeEvent::Converged { .. } => "converged",
+            RuntimeEvent::Admitted { .. } => "admitted",
+            RuntimeEvent::Rejected { .. } => "rejected",
+            RuntimeEvent::Evicted { .. } => "evicted",
+            RuntimeEvent::Resumed { .. } => "resumed",
         }
     }
 
@@ -120,6 +160,44 @@ impl RuntimeEvent {
                 // `diagnostics` is already a JSON object; embed it raw.
                 format!("{{\"event\": \"converged\", \"step\": {step}, \"diagnostics\": {diagnostics}}}")
             }
+            RuntimeEvent::Admitted {
+                tenant,
+                session,
+                queue_depth,
+            } => format!(
+                "{{\"event\": \"admitted\", \"tenant\": \"{}\", \"session\": \"{}\", \
+                 \"queue_depth\": {queue_depth}}}",
+                json_escape(tenant),
+                json_escape(session)
+            ),
+            RuntimeEvent::Rejected {
+                tenant,
+                session,
+                reason,
+            } => format!(
+                "{{\"event\": \"rejected\", \"tenant\": \"{}\", \"session\": \"{}\", \
+                 \"reason\": \"{}\"}}",
+                json_escape(tenant),
+                json_escape(session),
+                json_escape(reason)
+            ),
+            RuntimeEvent::Evicted {
+                session,
+                resumable,
+                last_durable_step,
+            } => {
+                let durable =
+                    last_durable_step.map_or_else(|| "null".to_string(), |s| s.to_string());
+                format!(
+                    "{{\"event\": \"evicted\", \"session\": \"{}\", \"resumable\": {resumable}, \
+                     \"last_durable_step\": {durable}}}",
+                    json_escape(session)
+                )
+            }
+            RuntimeEvent::Resumed { session, from_step } => format!(
+                "{{\"event\": \"resumed\", \"session\": \"{}\", \"from_step\": {from_step}}}",
+                json_escape(session)
+            ),
         }
     }
 
@@ -173,5 +251,57 @@ mod tests {
             "{\"event\": \"converged\", \"step\": 50000, \
              \"diagnostics\": {\"samples\": 12, \"r_hat\": 1.01}}"
         );
+    }
+
+    #[test]
+    fn service_events_render_stable_json() {
+        let e = RuntimeEvent::Admitted {
+            tenant: "acme".to_string(),
+            session: "acme/s-1".to_string(),
+            queue_depth: 7,
+        };
+        assert_eq!(e.kind(), "admitted");
+        assert_eq!(
+            e.to_json(),
+            "{\"event\": \"admitted\", \"tenant\": \"acme\", \"session\": \"acme/s-1\", \
+             \"queue_depth\": 7}"
+        );
+        let e = RuntimeEvent::Rejected {
+            tenant: "acme".to_string(),
+            session: "acme/s-2".to_string(),
+            reason: "queue_full",
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\": \"rejected\", \"tenant\": \"acme\", \"session\": \"acme/s-2\", \
+             \"reason\": \"queue_full\"}"
+        );
+        let e = RuntimeEvent::Evicted {
+            session: "acme/s-1".to_string(),
+            resumable: true,
+            last_durable_step: Some(4_000),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\": \"evicted\", \"session\": \"acme/s-1\", \"resumable\": true, \
+             \"last_durable_step\": 4000}"
+        );
+        let e = RuntimeEvent::Evicted {
+            session: "x".to_string(),
+            resumable: false,
+            last_durable_step: None,
+        };
+        assert!(e.to_json().contains("\"last_durable_step\": null"));
+        let e = RuntimeEvent::Resumed {
+            session: "acme/s-1".to_string(),
+            from_step: 4_000,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\": \"resumed\", \"session\": \"acme/s-1\", \"from_step\": 4000}"
+        );
+        assert!(e
+            .telemetry_line()
+            .starts_with("{\"kind\": \"runtime_event\""));
     }
 }

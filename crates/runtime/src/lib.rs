@@ -34,7 +34,12 @@
 //!   [`ConvergenceMonitor`]: stops early with
 //!   [`StopReason::Converged`] once the stopping rules hold, and
 //!   serializes the monitor's decision state into the checkpoint sidecar
-//!   so resumed runs replay to bit-identical stop decisions.
+//!   so resumed runs replay to bit-identical stop decisions;
+//! * [`resume_from_store`] / [`ResumePoint`] — the `StdRng`-specialized
+//!   resume seam: recovers the newest valid snapshot and rebuilds the
+//!   production RNG from its 32-byte state, for callers (the job
+//!   service's session table, checkpoint inspection tools) that need a
+//!   concrete resume point rather than a generic `R: Rng`.
 //!
 //! The recovery ladder itself ([`run_supervised`], [`Heartbeat`],
 //! [`Repairable`]) lives in `sops-chains`; this crate re-exports it so
@@ -51,17 +56,19 @@ mod events;
 mod monitor;
 mod options;
 mod report;
+mod resume;
 mod runner;
 mod seeds;
 
 pub use backoff::BackoffPolicy;
 pub use budget::ResourceBudget;
 pub use chain_job::{run_chain, run_chain_monitored, ChainJob, StopReason};
-pub use error::{DegradeReason, JobError};
+pub use error::{ConfigError, DegradeReason, JobError};
 pub use events::RuntimeEvent;
 pub use monitor::{MonitorState, StallPolicy};
 pub use options::{sanitize, SweepOptions};
 pub use report::{render_cell_report, write_cell_report};
+pub use resume::{last_durable_step, resume_from_store, ResumePoint};
 pub use runner::{run_cells, CellOutcome, CellStatus, JobContext, Runtime};
 pub use seeds::{seed_hash, seed_hash_attempt, seeded, seeded_attempt};
 

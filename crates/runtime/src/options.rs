@@ -26,6 +26,7 @@ use sops_chains::{CheckpointError, CheckpointStore, JsonlSink, RunManifest};
 
 use crate::backoff::BackoffPolicy;
 use crate::budget::ResourceBudget;
+use crate::error::ConfigError;
 use crate::monitor::StallPolicy;
 
 /// Runtime options shared by every sweep binary.
@@ -84,10 +85,18 @@ impl Default for SweepOptions {
 impl SweepOptions {
     /// Parses the process arguments. Unknown flags are reported to stderr
     /// and ignored, so binaries stay usable from wrapper scripts that pass
-    /// extra context.
+    /// extra context. A rejected value or combination (see
+    /// [`SweepOptions::try_parse`]) prints the typed error and exits with
+    /// status 2 — a sweep that could never produce a result must not start.
     #[must_use]
     pub fn from_args() -> Self {
-        let mut opts = Self::parse(std::env::args().skip(1));
+        let mut opts = match Self::try_parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("invalid configuration ({}): {e}", e.code());
+                std::process::exit(2);
+            }
+        };
         // The CI smoke legs select smoke mode via the environment; the
         // flag exists so local runs can do the same without exporting.
         if std::env::var("SOPS_BENCH_SMOKE").is_ok_and(|v| v == "1") {
@@ -96,78 +105,82 @@ impl SweepOptions {
         opts
     }
 
-    pub(crate) fn parse(args: impl IntoIterator<Item = String>) -> Self {
+    /// Parses an argument list into options, rejecting malformed values
+    /// and nonsensical budget combinations with a typed [`ConfigError`]
+    /// instead of letting them pass through silently: `--deadline-ms 0`,
+    /// `--retries N` with `--max-rollbacks 0`, and a `--memory-mb`
+    /// ceiling smaller than one checkpoint snapshot are all configuration
+    /// bugs, not requests. Unknown flags are still reported to stderr and
+    /// ignored. Combination checks run after the whole list is consumed,
+    /// so flag order never matters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] encountered.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, ConfigError> {
+        fn parsed<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ConfigError> {
+            value.parse().map_err(|_| ConfigError::InvalidValue {
+                flag: flag.to_string(),
+                value: value.to_string(),
+            })
+        }
         let mut opts = SweepOptions::default();
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let mut take_value = |flag: &str| {
-                args.next()
-                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                args.next().ok_or_else(|| ConfigError::MissingValue {
+                    flag: flag.to_string(),
+                })
             };
             match arg.as_str() {
                 "--checkpoint-dir" => {
-                    opts.checkpoint_dir = Some(PathBuf::from(take_value("--checkpoint-dir")));
+                    opts.checkpoint_dir = Some(PathBuf::from(take_value("--checkpoint-dir")?));
                 }
                 "--resume" => opts.resume = true,
                 "--audit-every" => {
-                    let v = take_value("--audit-every");
-                    opts.audit_every = Some(
-                        v.parse()
-                            .unwrap_or_else(|_| panic!("--audit-every expects a step count: {v}")),
-                    );
+                    let v = take_value("--audit-every")?;
+                    opts.audit_every = Some(parsed("--audit-every", &v)?);
                 }
                 "--retries" => {
-                    let v = take_value("--retries");
-                    opts.budget.max_retries = v
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--retries expects a count: {v}"));
+                    let v = take_value("--retries")?;
+                    opts.budget.max_retries = parsed("--retries", &v)?;
                 }
                 "--backoff-ms" => {
-                    let v = take_value("--backoff-ms");
-                    opts.backoff.base_ms = v
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--backoff-ms expects milliseconds: {v}"));
+                    let v = take_value("--backoff-ms")?;
+                    opts.backoff.base_ms = parsed("--backoff-ms", &v)?;
                 }
                 "--stall-ms" => {
-                    let v = take_value("--stall-ms");
-                    let total: u64 = v
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--stall-ms expects milliseconds: {v}"));
+                    let v = take_value("--stall-ms")?;
+                    let total: u64 = parsed("--stall-ms", &v)?;
                     opts.stall = Some(StallPolicy::with_timeout_ms(total));
                 }
                 "--deadline-ms" => {
-                    let v = take_value("--deadline-ms");
-                    let ms: u64 = v
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--deadline-ms expects milliseconds: {v}"));
+                    let v = take_value("--deadline-ms")?;
+                    let ms: u64 = parsed("--deadline-ms", &v)?;
                     opts.budget.deadline = Some(std::time::Duration::from_millis(ms));
                 }
                 "--max-steps" => {
-                    let v = take_value("--max-steps");
-                    opts.budget.max_steps = Some(
-                        v.parse()
-                            .unwrap_or_else(|_| panic!("--max-steps expects a step count: {v}")),
-                    );
+                    let v = take_value("--max-steps")?;
+                    opts.budget.max_steps = Some(parsed("--max-steps", &v)?);
                 }
                 "--max-rollbacks" => {
-                    let v = take_value("--max-rollbacks");
-                    opts.budget.max_rollbacks = v
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--max-rollbacks expects a count: {v}"));
+                    let v = take_value("--max-rollbacks")?;
+                    opts.budget.max_rollbacks = parsed("--max-rollbacks", &v)?;
                 }
                 "--memory-mb" => {
-                    let v = take_value("--memory-mb");
-                    let mb: u64 = v
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--memory-mb expects a size in MiB: {v}"));
+                    let v = take_value("--memory-mb")?;
+                    let mb: u64 = parsed("--memory-mb", &v)?;
                     opts.budget.memory_ceiling_bytes = Some(mb * 1024 * 1024);
                 }
                 "--threads" => {
-                    let v = take_value("--threads");
-                    let threads: usize = v
-                        .parse()
-                        .unwrap_or_else(|_| panic!("--threads expects a thread count: {v}"));
-                    assert!(threads > 0, "--threads requires at least one thread");
+                    let v = take_value("--threads")?;
+                    let threads: usize = parsed("--threads", &v)?;
+                    if threads == 0 {
+                        return Err(ConfigError::InvalidValue {
+                            flag: "--threads".to_string(),
+                            value: v,
+                        });
+                    }
                     opts.threads = threads;
                 }
                 "--adaptive" => opts.adaptive = true,
@@ -176,7 +189,13 @@ impl SweepOptions {
                 other => eprintln!("ignoring unknown flag {other:?}"),
             }
         }
-        opts
+        opts.budget.validate()?;
+        Ok(opts)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        Self::try_parse(args).expect("valid test flags")
     }
 
     /// Opens the checkpoint store for one named sweep cell, or `None` when
@@ -309,6 +328,73 @@ mod tests {
         assert!(opts.adaptive);
         assert!(opts.smoke);
         assert!(!opts.telemetry);
+    }
+
+    fn try_parse(args: &[&str]) -> Result<SweepOptions, ConfigError> {
+        SweepOptions::try_parse(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn try_parse_rejects_zero_deadline() {
+        assert_eq!(
+            try_parse(&["--deadline-ms", "0"]),
+            Err(ConfigError::ZeroDeadline)
+        );
+    }
+
+    #[test]
+    fn try_parse_rejects_retries_without_rollbacks() {
+        assert_eq!(
+            try_parse(&["--retries", "2", "--max-rollbacks", "0"]),
+            Err(ConfigError::RetriesWithoutRollbacks { retries: 2 })
+        );
+        // Order must not matter: the combination is checked after the
+        // whole argument list is consumed.
+        assert_eq!(
+            try_parse(&["--max-rollbacks", "0", "--retries", "2"]),
+            Err(ConfigError::RetriesWithoutRollbacks { retries: 2 })
+        );
+        // Explicitly disabling retries alongside rollbacks is fail-fast
+        // mode, not a configuration bug.
+        assert!(try_parse(&["--retries", "0", "--max-rollbacks", "0"]).is_ok());
+    }
+
+    #[test]
+    fn try_parse_rejects_memory_ceiling_below_one_snapshot() {
+        // 0 MiB cannot hold the ~64 KiB snapshot the retention math
+        // assumes; 1 MiB can.
+        assert_eq!(
+            try_parse(&["--memory-mb", "0"]),
+            Err(ConfigError::MemoryCeilingTooSmall {
+                ceiling_bytes: 0,
+                min_bytes: 64 * 1024,
+            })
+        );
+        assert!(try_parse(&["--memory-mb", "1"]).is_ok());
+    }
+
+    #[test]
+    fn try_parse_rejects_malformed_and_missing_values() {
+        assert_eq!(
+            try_parse(&["--deadline-ms", "soon"]),
+            Err(ConfigError::InvalidValue {
+                flag: "--deadline-ms".to_string(),
+                value: "soon".to_string(),
+            })
+        );
+        assert_eq!(
+            try_parse(&["--threads", "0"]),
+            Err(ConfigError::InvalidValue {
+                flag: "--threads".to_string(),
+                value: "0".to_string(),
+            })
+        );
+        assert_eq!(
+            try_parse(&["--max-steps"]),
+            Err(ConfigError::MissingValue {
+                flag: "--max-steps".to_string(),
+            })
+        );
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! The standard chain payload: wraps any [`MarkovChain`] into a
+//! [`JobPayload`] that checkpoints through the session's store, honors
+//! the job's budget and eviction signal, and resumes bit-identically
+//! after a crash or eviction.
+//!
+//! Determinism contract: the RNG is seeded once per *session* (not per
+//! dispatch). On resume the runtime's [`resume_from_store`] seam
+//! rebuilds the exact [`StdRng`] stream from the snapshot's 32-byte
+//! state, so an interrupted-and-resumed run and an uninterrupted run of
+//! the same session produce byte-identical final states — the property
+//! the chaos suite checks.
+
+use std::ops::ControlFlow;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+use sops_chains::checkpoint::StateCodec;
+use sops_chains::recovery::{run_supervised, SupervisedOptions};
+use sops_chains::{Auditable, MarkovChain, Repairable};
+use sops_runtime::{resume_from_store, DegradeReason, JobError};
+
+use crate::service::{ExecCtx, JobOutcome, JobPayload};
+
+/// Builds a [`JobPayload`] that runs `chain` for `steps` steps (clamped
+/// by the job's budget), checkpointing every `every` steps. `on_done`
+/// fires only on completion, with the final state and RNG — the
+/// bit-identity witness for tests and result collection.
+///
+/// The payload is resume-aware: dispatched into a session with durable
+/// checkpoints, it continues from the newest valid snapshot (emitting
+/// [`sops_runtime::RuntimeEvent::Resumed`]) instead of starting over,
+/// and `initial`/the seed are ignored in favor of the recovered state.
+pub fn chain_payload<C, F>(
+    chain: C,
+    initial: C::State,
+    seed: u64,
+    steps: u64,
+    every: u64,
+    on_done: F,
+) -> JobPayload
+where
+    C: MarkovChain + Send + 'static,
+    C::State: StateCodec + Auditable + Repairable + Send + 'static,
+    F: FnOnce(&C::State, &StdRng) + Send + 'static,
+{
+    Box::new(move |ctx: &ExecCtx<'_>| {
+        let steps = ctx.budget().clamp_steps(steps);
+        let mut state = initial;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Surface the resume explicitly (telemetry + the Resumed event)
+        // before handing control to the supervised runner, which performs
+        // the same recovery internally to position state and RNG.
+        match resume_from_store::<C::State>(ctx.store()) {
+            Ok(Some(point)) => ctx.note_resumed(point.step),
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+        let opts = SupervisedOptions {
+            steps,
+            every: every.max(1),
+            max_rollbacks: ctx.budget().max_rollbacks,
+        };
+        let run = run_supervised(
+            &chain,
+            &mut state,
+            &mut rng,
+            ctx.store(),
+            &opts,
+            ctx.heartbeat(),
+            |_| 0.0,
+            |_, _| ControlFlow::Continue(()),
+        )
+        .map_err(|e| match e {
+            sops_chains::CheckpointError::Cancelled => JobError::Cancelled {
+                reason: DegradeReason::ExternalCancel,
+                step: ctx.heartbeat().steps(),
+            },
+            other => other.into(),
+        })?;
+        if run.completed {
+            on_done(&state, &rng);
+            Ok(JobOutcome::Completed { steps: run.steps })
+        } else {
+            // Cancelled cooperatively mid-run (eviction): the newest
+            // durable snapshot is the resume point.
+            Ok(JobOutcome::Yielded {
+                last_durable_step: run.last_durable_step,
+            })
+        }
+    })
+}
